@@ -1,0 +1,110 @@
+package streamcoarsen
+
+import (
+	"testing"
+)
+
+// TestEndToEndPipeline is the integration test across the whole stack:
+// generate → train (imitation + REINFORCE) → allocate → simulate, checking
+// the headline property that the trained pipeline is never worse than the
+// Metis baseline on the test split (the ranked sweep contains the
+// no-coarsening candidate) and strictly better somewhere.
+func TestEndToEndPipeline(t *testing.T) {
+	setting := Medium5KSetting()
+	setting.TrainN, setting.TestN = 8, 6
+	setting.Config.MinNodes, setting.Config.MaxNodes = 60, 100
+	data := setting.Generate()
+	cluster := data.Cluster
+
+	model := NewModel(DefaultModelConfig())
+	pipe := NewPipeline(model)
+	cfg := DefaultTrainConfig()
+	cfg.PretrainEpochs, cfg.Epochs, cfg.Quiet = 10, 2, true
+	NewTrainer(cfg, model, pipe).TrainOn(data.Train, cluster)
+
+	better := 0
+	for i, g := range data.Test {
+		mp := MetisPartition(g, cluster.Devices, 1)
+		mp.Devices = cluster.Devices
+		metisR := Reward(g, mp, cluster)
+
+		alloc := pipe.Allocate(g, cluster)
+		if err := alloc.Placement.Validate(g); err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+		ourR := Reward(g, alloc.Placement, cluster)
+		if ourR < metisR-1e-12 {
+			t.Fatalf("graph %d: coarsen %.4f < metis %.4f", i, ourR, metisR)
+		}
+		if ourR > metisR+1e-9 {
+			better++
+		}
+	}
+	if better == 0 {
+		t.Fatal("trained pipeline never beat Metis on any test graph")
+	}
+}
+
+func TestFacadeSettingsComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, s := range AllSettings() {
+		names[s.Name] = true
+	}
+	for _, s := range []Setting{
+		SmallSetting(), Medium5KSetting(), MediumSetting(),
+		LargeSetting(), XLargeSetting(), ExcessSetting(),
+	} {
+		if !names[s.Name] {
+			t.Fatalf("setting %q missing from AllSettings", s.Name)
+		}
+	}
+}
+
+func TestFacadeGraphConstruction(t *testing.T) {
+	g := NewGraph(1000)
+	a := g.AddNode(Node{IPT: 100, Payload: 10})
+	b := g.AddNode(Node{IPT: 100, Payload: 10})
+	g.AddEdge(a, b, 0)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := DefaultCluster(2, 100)
+	p := MetisPartition(g, 2, 1)
+	p.Devices = 2
+	res, err := Simulate(g, p, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relative <= 0 || res.Relative > 1 {
+		t.Fatalf("relative = %g", res.Relative)
+	}
+}
+
+func TestFacadePlacers(t *testing.T) {
+	setting := SmallSetting()
+	setting.TestN = 2
+	data := setting.Generate()
+	for _, pl := range []Placer{MetisPlacer(1), MetisOraclePlacer(1)} {
+		p := pl.Place(data.Test[0], data.Cluster)
+		if err := p.Validate(data.Test[0]); err != nil {
+			t.Fatalf("%s: %v", pl.Name(), err)
+		}
+	}
+}
+
+func TestFacadeHarnessQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	h := NewHarness(0.06, QuickBudget())
+	h.Quiet = true
+	var sink discard
+	h.Out = &sink
+	if err := h.Run("fig9"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type discard struct{}
+
+func (*discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,314 @@
+package streamcoarsen
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/autodiff"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/gnn"
+	"repro/internal/metis"
+	"repro/internal/nn"
+	"repro/internal/placer"
+	rtpkg "repro/internal/runtime"
+	"repro/internal/sim"
+	"repro/internal/stream"
+	"repro/internal/tensor"
+)
+
+// benchHarness is a shared quick-budget harness: models train once per
+// process, so each benchmark iteration measures the experiment's
+// evaluation work (the paper's tables/figures are evaluation artifacts).
+var (
+	benchOnce sync.Once
+	benchH    *eval.Harness
+)
+
+func harness() *eval.Harness {
+	benchOnce.Do(func() {
+		benchH = eval.NewHarness(0.12, eval.QuickBudget())
+		benchH.Quiet = true
+		benchH.Out = io.Discard
+	})
+	return benchH
+}
+
+// Experiment benches: one per table and figure of the evaluation section.
+
+func BenchmarkFig1MotivatingCDF(b *testing.B) {
+	h := harness()
+	h.Fig1() // train/cache models outside the timed loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Fig1()
+	}
+}
+
+func BenchmarkTable1AUC(b *testing.B) {
+	h := harness()
+	h.Table1()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Table1()
+	}
+}
+
+func BenchmarkFig5MediumCDF(b *testing.B) {
+	h := harness()
+	h.Fig5()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Fig5()
+	}
+}
+
+func BenchmarkFig6Generalize(b *testing.B) {
+	h := harness()
+	h.Fig6()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Fig6()
+	}
+}
+
+func BenchmarkFig7Excess(b *testing.B) {
+	h := harness()
+	h.Fig7()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Fig7()
+	}
+}
+
+func BenchmarkFig8Compression(b *testing.B) {
+	h := harness()
+	h.Fig8()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Fig8()
+	}
+}
+
+func BenchmarkFig9Saturation(b *testing.B) {
+	h := harness()
+	h.Fig9()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Fig9()
+	}
+}
+
+func BenchmarkTable2Ablation(b *testing.B) {
+	h := harness()
+	h.Table2()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Re-evaluate the cached best model's rows (ablation models are
+		// retrained inside Table2; keeping the full call measures the
+		// table's end-to-end regeneration).
+		h.Table2()
+	}
+}
+
+func BenchmarkTable3Inference(b *testing.B) {
+	h := harness()
+	h.Table3()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Table3()
+	}
+}
+
+func BenchmarkFig3Qualitative(b *testing.B) {
+	h := harness()
+	h.Fig3()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Fig3()
+	}
+}
+
+// Ablation bench: linear-fluid vs iterative simulator modes (DESIGN.md §5).
+
+func BenchmarkSimulatorModes(b *testing.B) {
+	c := sim.DefaultCluster(10, 1000)
+	cfg := gen.DefaultConfig(100, 200, 10_000, c)
+	g := gen.Generate(cfg, rand.New(rand.NewSource(1)))
+	p := metis.Partition(g, metis.Options{Parts: c.Devices, Seed: 1})
+	p.Devices = c.Devices
+	b.Run("fluid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Simulate(g, p, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("iterative", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.SimulateIterative(g, p, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Micro-benchmarks for the substrates.
+
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{32, 128, 512} {
+		x := tensor.New(n, n)
+		y := tensor.New(n, n)
+		x.RandUniform(rng, 1)
+		y.RandUniform(rng, 1)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tensor.MatMul(x, y)
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch n {
+	case 32:
+		return "32x32"
+	case 128:
+		return "128x128"
+	default:
+		return "512x512"
+	}
+}
+
+func BenchmarkGNNEncode(b *testing.B) {
+	c := sim.DefaultCluster(10, 1000)
+	for _, size := range []struct {
+		name     string
+		min, max int
+	}{{"medium", 100, 200}, {"large", 400, 500}} {
+		cfg := gen.DefaultConfig(size.min, size.max, 10_000, c)
+		g := gen.Generate(cfg, rand.New(rand.NewSource(2)))
+		f := gnn.BuildFeatures(g, c)
+		ps := nn.NewParamSet()
+		enc := gnn.NewEncoder(ps, "enc", 24, 2, rand.New(rand.NewSource(3)))
+		b.Run(size.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				binder := nn.NewBinder(autodiff.NewTape())
+				enc.Encode(binder, f)
+			}
+		})
+	}
+}
+
+func BenchmarkMetisPartition(b *testing.B) {
+	c := sim.DefaultCluster(10, 1500)
+	cfg := gen.DefaultConfig(400, 500, 10_000, c)
+	g := gen.Generate(cfg, rand.New(rand.NewSource(4)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metis.Partition(g, metis.Options{Parts: 10, Seed: int64(i)})
+	}
+}
+
+func BenchmarkCoarsenAllocate(b *testing.B) {
+	c := sim.DefaultCluster(10, 1500)
+	cfg := gen.DefaultConfig(400, 500, 10_000, c)
+	g := gen.Generate(cfg, rand.New(rand.NewSource(5)))
+	model := core.New(core.DefaultConfig())
+	pipe := &core.Pipeline{Model: model, Placer: placer.Metis{Seed: 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipe.Allocate(g, c)
+	}
+}
+
+func BenchmarkGraphGeneration(b *testing.B) {
+	c := sim.DefaultCluster(10, 1500)
+	cfg := gen.DefaultConfig(400, 500, 10_000, c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Generate(cfg, rand.New(rand.NewSource(int64(i))))
+	}
+}
+
+func BenchmarkCollapseAndExpand(b *testing.B) {
+	c := sim.DefaultCluster(10, 1500)
+	cfg := gen.DefaultConfig(400, 500, 10_000, c)
+	g := gen.Generate(cfg, rand.New(rand.NewSource(6)))
+	rng := rand.New(rand.NewSource(7))
+	d := make([]bool, g.NumEdges())
+	for i := range d {
+		d[i] = rng.Float64() < 0.3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm := stream.CollapseEdges(g, d)
+		cg := stream.CoarseGraph(g, cm)
+		cp := stream.NewPlacement(cm.NumSuper, c.Devices)
+		stream.ExpandPlacement(cm, cp)
+		_ = cg
+	}
+}
+
+// BenchmarkSimValidate measures the cross-model validation experiment
+// (fluid vs discrete-event vs real concurrent runtime).
+func BenchmarkSimValidate(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		h.SimValidate()
+	}
+}
+
+// Execution-model micro-benchmarks (DES and concurrent runtime).
+func BenchmarkSimulateDES(b *testing.B) {
+	c := sim.DefaultCluster(5, 1000)
+	cfg := gen.DefaultConfig(40, 60, 10_000, c)
+	g := gen.Generate(cfg, rand.New(rand.NewSource(9)))
+	p := metis.Partition(g, metis.Options{Parts: c.Devices, Seed: 1})
+	p.Devices = c.Devices
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.SimulateDES(g, p, c, sim.DefaultDESConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRuntimeExecution(b *testing.B) {
+	c := sim.DefaultCluster(3, 500)
+	cfg := gen.DefaultConfig(10, 20, 5_000, c)
+	g := gen.Generate(cfg, rand.New(rand.NewSource(10)))
+	p := metis.Partition(g, metis.Options{Parts: c.Devices, Seed: 1})
+	p.Devices = c.Devices
+	rtCfg := rtpkg.DefaultConfig()
+	rtCfg.WallTime = 60 * time.Millisecond
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rtpkg.Run(g, p, c, rtCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPartitionerAblation compares direct k-way partitioning against
+// recursive bisection as the pipeline's partitioning stage.
+func BenchmarkPartitionerAblation(b *testing.B) {
+	c := sim.DefaultCluster(10, 1500)
+	cfg := gen.DefaultConfig(400, 500, 10_000, c)
+	g := gen.Generate(cfg, rand.New(rand.NewSource(11)))
+	b.Run("kway", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			metis.Partition(g, metis.Options{Parts: 10, Seed: int64(i)})
+		}
+	})
+	b.Run("recursive-bisection", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			metis.PartitionRB(g, metis.Options{Parts: 10, Seed: int64(i)})
+		}
+	})
+}

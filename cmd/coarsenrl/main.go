@@ -1,0 +1,150 @@
+// Command coarsenrl trains, saves, loads, and evaluates the
+// edge-collapsing coarsening model.
+//
+// Usage:
+//
+//	coarsenrl -mode train -setting medium-10k-10dev -save model.json \
+//	          [-pretrain 16] [-epochs 6] [-scale 1]
+//	coarsenrl -mode eval -setting large-10k-10dev -load model.json [-scale 1]
+//	coarsenrl -mode finetune -setting large-10k-10dev -load model.json \
+//	          -save model-large.json [-epochs 4]
+//	coarsenrl -mode curriculum -save model.json [-scale 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/metis"
+	"repro/internal/nn"
+	"repro/internal/placer"
+	"repro/internal/rl"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		mode        = flag.String("mode", "train", "train | finetune | eval")
+		settingName = flag.String("setting", "medium-10k-10dev", "dataset preset")
+		scale       = flag.Float64("scale", 1.0, "dataset size multiplier")
+		loadPath    = flag.String("load", "", "load model parameters from JSON")
+		savePath    = flag.String("save", "", "save model parameters to JSON")
+		pretrain    = flag.Int("pretrain", 16, "Metis-guided imitation epochs")
+		epochs      = flag.Int("epochs", 6, "REINFORCE epochs")
+		lr          = flag.Float64("lr", 0.003, "Adam learning rate")
+		hidden      = flag.Int("hidden", 24, "GNN half-embedding width")
+		seed        = flag.Int64("seed", 1, "random seed")
+		quiet       = flag.Bool("quiet", false, "suppress progress logs")
+	)
+	flag.Parse()
+
+	setting, err := gen.ByName(*settingName)
+	if err != nil {
+		fatal(err)
+	}
+	ds := setting.Scale(*scale).Generate()
+
+	mcfg := core.DefaultConfig()
+	mcfg.Hidden = *hidden
+	mcfg.Seed = *seed
+	model := core.New(mcfg)
+	if *loadPath != "" {
+		if err := nn.LoadParams(model.PS, *loadPath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d parameters from %s\n", model.PS.Count(), *loadPath)
+	}
+	pipe := &core.Pipeline{Model: model, Placer: placer.Metis{Seed: *seed}}
+
+	switch *mode {
+	case "curriculum":
+		// The paper's size-based curriculum (§IV-C): medium → large →
+		// xlarge, fine-tuning at each level. -setting is ignored.
+		cfg := rl.DefaultConfig()
+		cfg.PretrainEpochs = *pretrain
+		cfg.LR = *lr
+		cfg.Seed = *seed
+		cfg.Quiet = *quiet
+		tr := rl.NewTrainer(cfg, model, pipe)
+		var levels []rl.Level
+		for i, s := range []gen.Setting{gen.Medium(), gen.Large(), gen.XLarge()} {
+			lds := s.Scale(*scale).Generate()
+			ep := *epochs
+			if i > 0 {
+				ep = maxOf(1, *epochs/2) // fine-tuning stages are shorter
+			}
+			levels = append(levels, rl.Level{
+				Name: s.Name, Graphs: lds.Train, Cluster: lds.Cluster, Epochs: ep,
+			})
+		}
+		tr.Curriculum(levels)
+		if *savePath != "" {
+			if err := tr.SaveCheckpoint(*savePath); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "saved curriculum model to %s\n", *savePath)
+		}
+		evaluate(model, pipe, ds)
+	case "train", "finetune":
+		cfg := rl.DefaultConfig()
+		cfg.Epochs = *epochs
+		cfg.PretrainEpochs = *pretrain
+		cfg.LR = *lr
+		cfg.Seed = *seed
+		cfg.Quiet = *quiet
+		if *mode == "finetune" {
+			cfg.PretrainEpochs = 0
+			cfg.LR = *lr / 3
+		}
+		tr := rl.NewTrainer(cfg, model, pipe)
+		tr.TrainOn(ds.Train, ds.Cluster)
+		if *savePath != "" {
+			if err := nn.SaveParams(model.PS, *savePath); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "saved model to %s\n", *savePath)
+		}
+		evaluate(model, pipe, ds)
+	case "eval":
+		evaluate(model, pipe, ds)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func evaluate(model *core.Model, pipe *core.Pipeline, ds *gen.Dataset) {
+	ours := rl.Evaluate(pipe, ds.Test, ds.Cluster)
+	var metisVals, ourVals []float64
+	for i, g := range ds.Test {
+		mp := metis.Partition(g, metis.Options{Parts: ds.Cluster.Devices, Seed: 1})
+		mp.Devices = ds.Cluster.Devices
+		metisVals = append(metisVals, sim.Reward(g, mp, ds.Cluster)*g.SourceRate)
+		ourVals = append(ourVals, ours[i]*g.SourceRate)
+	}
+	rate := ds.Test[0].SourceRate
+	rep := &eval.Report{
+		Title: "coarsenrl evaluation on " + ds.Name,
+		MaxX:  rate,
+		Rows: []eval.Series{
+			{Name: "Metis", Values: metisVals},
+			{Name: "Coarsen+Metis", Values: ourVals},
+		},
+	}
+	fmt.Print(rep.String())
+}
+
+func maxOf(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all                    # every table and figure
+//	experiments -run table1,fig5,fig9      # a subset
+//	experiments -run fig7 -scale 1 -budget default -outdir results/
+//
+// Experiment ids: fig1 fig3 fig5 fig6 fig7 fig8 fig9 table1 table2 table3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		scale  = flag.Float64("scale", 1.0, "dataset size multiplier")
+		budget = flag.String("budget", "default", "training budget: default | quick")
+		outdir = flag.String("outdir", "", "directory for per-experiment artifacts (CDF tables, DOT files)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		quiet  = flag.Bool("quiet", false, "suppress training progress")
+		plot   = flag.Bool("plot", false, "render ASCII CDF plots alongside the AUC tables")
+	)
+	flag.Parse()
+
+	var b eval.Budget
+	switch *budget {
+	case "default":
+		b = eval.DefaultBudget()
+	case "quick":
+		b = eval.QuickBudget()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown budget %q (want default or quick)\n", *budget)
+		os.Exit(2)
+	}
+
+	h := eval.NewHarness(*scale, b)
+	h.Seed = *seed
+	h.Quiet = *quiet
+	h.OutDir = *outdir
+	h.Plot = *plot
+
+	ids := strings.Split(*run, ",")
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+	}
+	start := time.Now()
+	if err := h.Run(ids...); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("completed %v in %v\n", ids, time.Since(start).Round(time.Second))
+}

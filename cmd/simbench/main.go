@@ -1,0 +1,117 @@
+// Command simbench cross-checks the three execution models — linear-fluid
+// solver, discrete-event solver, and the real concurrent runtime — on
+// generated (or loaded) graphs under Metis placements, reporting per-graph
+// relative throughputs and overall rank agreement.
+//
+// Usage:
+//
+//	simbench -setting small -n 6
+//	simbench -graphs graphs.json -devices 5 -mbps 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/metis"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+func main() {
+	var (
+		settingName = flag.String("setting", "small", "dataset preset for generated graphs")
+		n           = flag.Int("n", 6, "number of generated graphs")
+		graphsPath  = flag.String("graphs", "", "JSON graph file (overrides -setting)")
+		devices     = flag.Int("devices", 5, "device count when loading graphs")
+		mbps        = flag.Float64("mbps", 1000, "link bandwidth (Mbps) when loading graphs")
+		wall        = flag.Duration("wall", 150*time.Millisecond, "runtime execution window per placement")
+	)
+	flag.Parse()
+
+	var graphs []*stream.Graph
+	var cluster sim.Cluster
+	if *graphsPath != "" {
+		f, err := os.Open(*graphsPath)
+		if err != nil {
+			fatal(err)
+		}
+		graphs, err = stream.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		cluster = sim.DefaultCluster(*devices, *mbps)
+	} else {
+		setting, err := gen.ByName(*settingName)
+		if err != nil {
+			// Allow the short "small" alias.
+			setting, err = gen.ByName(*settingName + "")
+			if err != nil {
+				fatal(err)
+			}
+		}
+		setting.TestN = *n
+		ds := setting.Generate()
+		graphs = ds.Test
+		cluster = ds.Cluster
+	}
+
+	rtCfg := runtime.DefaultConfig()
+	rtCfg.WallTime = *wall
+
+	fmt.Printf("%-6s %-7s %8s %8s %8s\n", "graph", "nodes", "fluid", "DES", "runtime")
+	type obs struct{ f, d, r float64 }
+	var all []obs
+	for i, g := range graphs {
+		p := metis.Partition(g, metis.Options{Parts: cluster.Devices, Seed: 1})
+		p.Devices = cluster.Devices
+		fres, err := sim.Simulate(g, p, cluster)
+		if err != nil {
+			fatal(err)
+		}
+		dres, err := sim.SimulateDES(g, p, cluster, sim.DefaultDESConfig())
+		if err != nil {
+			fatal(err)
+		}
+		rres, err := runtime.Run(g, p, cluster, rtCfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-6d %-7d %8.3f %8.3f %8.3f   %v\n",
+			i, g.NumNodes(), fres.Relative, dres.Relative, rres.Relative, fres.Bottleneck)
+		all = append(all, obs{fres.Relative, dres.Relative, rres.Relative})
+	}
+
+	// Rank concordance across graphs.
+	conc := func(get func(obs) float64, get2 func(obs) float64) (int, int) {
+		c, t := 0, 0
+		for i := 0; i < len(all); i++ {
+			for j := i + 1; j < len(all); j++ {
+				da := get(all[i]) - get(all[j])
+				db := get2(all[i]) - get2(all[j])
+				if math.Abs(da) < 0.03 || math.Abs(db) < 0.03 {
+					continue
+				}
+				t++
+				if da*db > 0 {
+					c++
+				}
+			}
+		}
+		return c, t
+	}
+	fd, fdt := conc(func(o obs) float64 { return o.f }, func(o obs) float64 { return o.d })
+	fr, frt := conc(func(o obs) float64 { return o.f }, func(o obs) float64 { return o.r })
+	fmt.Printf("\nrank concordance: fluid-vs-DES %d/%d, fluid-vs-runtime %d/%d\n", fd, fdt, fr, frt)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+// Command templates allocates the library's hand-modelled real-world
+// application topologies (wordcount, log analytics, fraud detection, IoT
+// monitoring) with a coarsening model trained only on synthetic graphs —
+// the zero-shot transfer the paper highlights — and prints per-application
+// throughput and estimated end-to-end latency for Metis vs the pipeline.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	streamcoarsen "repro"
+	"repro/internal/gen"
+	"repro/internal/sim"
+)
+
+func main() {
+	cluster := streamcoarsen.DefaultCluster(5, 200)
+
+	// Train on synthetic graphs only.
+	setting := streamcoarsen.Medium5KSetting()
+	setting.TrainN = 12
+	setting.Cluster = cluster
+	setting.Config.Cluster = cluster
+	data := setting.Generate()
+	model := streamcoarsen.NewModel(streamcoarsen.DefaultModelConfig())
+	pipe := streamcoarsen.NewPipeline(model)
+	cfg := streamcoarsen.DefaultTrainConfig()
+	cfg.PretrainEpochs, cfg.Epochs, cfg.Quiet = 10, 2, true
+	streamcoarsen.NewTrainer(cfg, model, pipe).TrainOn(data.Train, cluster)
+
+	fmt.Printf("%-18s %6s | %-22s | %-22s\n", "application", "ops", "metis", "coarsen+metis (0-shot)")
+	rng := rand.New(rand.NewSource(7))
+	for _, tpl := range gen.AllTemplates() {
+		g, err := gen.FromTemplate(tpl, 6, 5_000, rng)
+		if err != nil {
+			panic(err)
+		}
+		mp := streamcoarsen.MetisPartition(g, cluster.Devices, 1)
+		mp.Devices = cluster.Devices
+		mr := streamcoarsen.Reward(g, mp, cluster)
+		mlat, _ := sim.EstimateLatency(g, mp, cluster)
+
+		alloc := pipe.Allocate(g, cluster)
+		cr := streamcoarsen.Reward(g, alloc.Placement, cluster)
+		clat, _ := sim.EstimateLatency(g, alloc.Placement, cluster)
+
+		fmt.Printf("%-18s %6d | %5.0f/s %7.1fms lat | %5.0f/s %7.1fms lat\n",
+			tpl, g.NumNodes(),
+			mr*g.SourceRate, 1000*mlat.CriticalPathSeconds,
+			cr*g.SourceRate, 1000*clat.CriticalPathSeconds)
+	}
+}

@@ -1,0 +1,59 @@
+// Command transfer demonstrates the coarsening model's transferability
+// (§VI-B, Fig. 6): a model trained once on medium graphs (100-200 nodes,
+// 10 devices) is applied *directly* — no fine-tuning — to much larger
+// unseen graphs on a different device count. Because edge-collapsing
+// decisions have the same semantics at any scale (merge endpoints that
+// communicate heavily and fit together), the learned policy keeps working
+// where direct-placement models break down.
+package main
+
+import (
+	"fmt"
+
+	streamcoarsen "repro"
+)
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func main() {
+	// Train on medium graphs.
+	trainSetting := streamcoarsen.MediumSetting()
+	trainSetting.TrainN = 12
+	trainData := trainSetting.Generate()
+
+	model := streamcoarsen.NewModel(streamcoarsen.DefaultModelConfig())
+	pipe := streamcoarsen.NewPipeline(model)
+	cfg := streamcoarsen.DefaultTrainConfig()
+	cfg.PretrainEpochs, cfg.Epochs = 8, 2
+	fmt.Printf("training on %s (%d graphs, %d devices)...\n",
+		trainData.Name, len(trainData.Train), trainData.Cluster.Devices)
+	streamcoarsen.NewTrainer(cfg, model, pipe).TrainOn(trainData.Train, trainData.Cluster)
+
+	// Evaluate zero-shot on large graphs with more devices.
+	for _, evalSetting := range []streamcoarsen.Setting{
+		streamcoarsen.LargeSetting(),
+		streamcoarsen.XLargeSetting(),
+	} {
+		evalSetting.TestN = 4
+		evalData := evalSetting.Generate()
+		cluster := evalData.Cluster
+
+		var metisR, ourR []float64
+		for _, g := range evalData.Test {
+			mp := streamcoarsen.MetisPartition(g, cluster.Devices, 1)
+			mp.Devices = cluster.Devices
+			metisR = append(metisR, streamcoarsen.Reward(g, mp, cluster))
+			alloc := pipe.Allocate(g, cluster)
+			ourR = append(ourR, streamcoarsen.Reward(g, alloc.Placement, cluster))
+		}
+		fmt.Printf("\nzero-shot on %s (%d devices):\n", evalData.Name, cluster.Devices)
+		fmt.Printf("  metis          mean relative throughput %.3f\n", mean(metisR))
+		fmt.Printf("  coarsen+metis  mean relative throughput %.3f\n", mean(ourR))
+	}
+}

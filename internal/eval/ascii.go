@@ -1,0 +1,55 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ASCIIPlot renders the report's CDF curves as a terminal plot — the
+// paper's figures are CDF plots, and this lets `cmd/experiments` show
+// their shape without any plotting dependency. Each series is drawn with
+// its own glyph; x is throughput over [0, MaxX], y is cumulative
+// probability.
+func (r *Report) ASCIIPlot(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 6 {
+		height = 6
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+	for si, s := range r.Rows {
+		if len(s.Values) == 0 {
+			continue
+		}
+		xs, ys := CDF(s.Values)
+		g := glyphs[si%len(glyphs)]
+		for i := range xs {
+			x := xs[i] / r.MaxX
+			if x > 1 {
+				x = 1
+			}
+			col := int(x * float64(width-1))
+			row := height - 1 - int(ys[i]*float64(height-1))
+			grid[row][col] = g
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	for i, row := range grid {
+		y := 1 - float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%4.2f |%s|\n", y, string(row))
+	}
+	fmt.Fprintf(&b, "      %s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "      0%s%.0f\n", strings.Repeat(" ", width-len(fmt.Sprintf("%.0f", r.MaxX))-1), r.MaxX)
+	for si, s := range r.Rows {
+		fmt.Fprintf(&b, "      %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestASCIIPlotRendersSeries(t *testing.T) {
+	r := &Report{
+		Title: "demo",
+		MaxX:  100,
+		Rows: []Series{
+			{Name: "low", Values: []float64{10, 20, 30}},
+			{Name: "high", Values: []float64{70, 80, 90}},
+		},
+	}
+	out := r.ASCIIPlot(40, 10)
+	if !strings.Contains(out, "demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* low") || !strings.Contains(out, "o high") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	// The low series must have marks in the left half, the high series in
+	// the right half.
+	lines := strings.Split(out, "\n")
+	var starCols, oCols []int
+	for _, ln := range lines {
+		if i := strings.IndexByte(ln, '|'); i >= 0 && strings.HasSuffix(ln, "|") {
+			row := ln[i+1 : len(ln)-1]
+			for c := 0; c < len(row); c++ {
+				switch row[c] {
+				case '*':
+					starCols = append(starCols, c)
+				case 'o':
+					oCols = append(oCols, c)
+				}
+			}
+		}
+	}
+	if len(starCols) == 0 || len(oCols) == 0 {
+		t.Fatalf("no marks:\n%s", out)
+	}
+	maxStar, minO := 0, 1<<30
+	for _, c := range starCols {
+		if c > maxStar {
+			maxStar = c
+		}
+	}
+	for _, c := range oCols {
+		if c < minO {
+			minO = c
+		}
+	}
+	if maxStar >= minO {
+		t.Fatalf("series not separated: maxStar=%d minO=%d\n%s", maxStar, minO, out)
+	}
+}
+
+func TestASCIIPlotClampsTinyDimensions(t *testing.T) {
+	r := &Report{Title: "t", MaxX: 10, Rows: []Series{{Name: "a", Values: []float64{5}}}}
+	out := r.ASCIIPlot(1, 1)
+	if len(out) == 0 {
+		t.Fatal("empty plot")
+	}
+}

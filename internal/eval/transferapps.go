@@ -1,0 +1,93 @@
+package eval
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/metis"
+	"repro/internal/placer"
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+// TransferAppsResult reports the transfer-to-applications experiment: a
+// coarsening model trained purely on the synthetic Fig. 4 generator is
+// applied zero-shot to hand-modelled real-world application shapes
+// (wordcount, log analytics, fraud detection, IoT monitoring). The paper
+// claims "great transferability and adaptability when deployed to graphs
+// vastly different from the training set" (§I, §VI-B); the template
+// topologies are exactly such graphs.
+type TransferAppsResult struct {
+	// PerTemplate maps template → mean relative throughput of each method.
+	PerTemplate map[string]map[string]float64
+	// Overall means across all instances.
+	Overall map[string]float64
+	// Instances is the number of application instances evaluated.
+	Instances int
+}
+
+// TransferApps evaluates Metis, Metis-Oracle, the hill-climb yardstick,
+// and the medium-trained coarsening pipeline on template application
+// instances at several widths.
+func (h *Harness) TransferApps() *TransferAppsResult {
+	cluster := sim.DefaultCluster(5, 200)
+	model := h.CoarsenModel("medium")
+	pipe := &core.Pipeline{Model: model, Placer: placer.Metis{Seed: h.Seed}}
+	rng := rand.New(rand.NewSource(h.Seed + 404))
+
+	res := &TransferAppsResult{
+		PerTemplate: make(map[string]map[string]float64),
+		Overall:     make(map[string]float64),
+	}
+	methods := []string{"metis", "metis-oracle", "coarsen+metis", "hill-climb"}
+	counts := make(map[string]int)
+
+	widths := []int{3, 6, 10}
+	for _, tpl := range gen.AllTemplates() {
+		sums := make(map[string]float64)
+		n := 0
+		for _, w := range widths {
+			g, err := gen.FromTemplate(tpl, w, 5_000, rng)
+			if err != nil {
+				panic("eval: template: " + err.Error())
+			}
+			evalOne := func(method string, p *stream.Placement) {
+				r := sim.Reward(g, p, cluster)
+				sums[method] += r
+				res.Overall[method] += r
+				counts[method]++
+			}
+			mp := metis.Partition(g, metis.Options{Parts: cluster.Devices, Seed: h.Seed})
+			mp.Devices = cluster.Devices
+			evalOne("metis", mp)
+			op, _ := metis.Oracle(g, cluster, h.Seed)
+			evalOne("metis-oracle", op)
+			evalOne("coarsen+metis", pipe.Allocate(g, cluster).Placement)
+			evalOne("hill-climb", placer.HillClimb{Seed: h.Seed, Restarts: 1}.Place(g, cluster))
+			n++
+		}
+		per := make(map[string]float64)
+		for _, m := range methods {
+			per[m] = sums[m] / float64(n)
+		}
+		res.PerTemplate[string(tpl)] = per
+		res.Instances += n
+	}
+	for _, m := range methods {
+		if counts[m] > 0 {
+			res.Overall[m] /= float64(counts[m])
+		}
+	}
+
+	h.printf("== Transfer to real-world application templates (zero-shot) ==\n")
+	h.printf("  %-18s %10s %14s %16s %12s\n", "template", "metis", "metis-oracle", "coarsen+metis", "hill-climb")
+	for _, tpl := range gen.AllTemplates() {
+		per := res.PerTemplate[string(tpl)]
+		h.printf("  %-18s %10.3f %14.3f %16.3f %12.3f\n",
+			tpl, per["metis"], per["metis-oracle"], per["coarsen+metis"], per["hill-climb"])
+	}
+	h.printf("  %-18s %10.3f %14.3f %16.3f %12.3f\n\n", "overall",
+		res.Overall["metis"], res.Overall["metis-oracle"], res.Overall["coarsen+metis"], res.Overall["hill-climb"])
+	return res
+}

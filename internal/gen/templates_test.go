@@ -1,0 +1,75 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/metis"
+	"repro/internal/sim"
+)
+
+func TestTemplatesValidateAtAllWidths(t *testing.T) {
+	for _, tpl := range AllTemplates() {
+		for _, w := range []int{1, 3, 8, 20} {
+			g, err := FromTemplate(tpl, w, 5_000, rand.New(rand.NewSource(1)))
+			if err != nil {
+				t.Fatalf("%s width %d: %v", tpl, w, err)
+			}
+			if g.NumNodes() < 3 {
+				t.Fatalf("%s width %d: only %d nodes", tpl, w, g.NumNodes())
+			}
+		}
+	}
+}
+
+func TestTemplateWidthScalesSize(t *testing.T) {
+	for _, tpl := range AllTemplates() {
+		small, _ := FromTemplate(tpl, 2, 1_000, rand.New(rand.NewSource(2)))
+		big, _ := FromTemplate(tpl, 10, 1_000, rand.New(rand.NewSource(2)))
+		if big.NumNodes() <= small.NumNodes() {
+			t.Fatalf("%s: width 10 (%d nodes) not larger than width 2 (%d)",
+				tpl, big.NumNodes(), small.NumNodes())
+		}
+	}
+}
+
+func TestTemplateRejectsBadInput(t *testing.T) {
+	if _, err := FromTemplate(WordCount, 0, 1000, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+	if _, err := FromTemplate(Template("nope"), 2, 1000, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("unknown template accepted")
+	}
+}
+
+func TestTemplateRatesStayBounded(t *testing.T) {
+	// Selectivities must keep steady rates at the source-rate scale even
+	// for wide instances (no exponential fan-in blowup).
+	for _, tpl := range AllTemplates() {
+		g, err := FromTemplate(tpl, 12, 10_000, rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, r := range g.SteadyRates() {
+			if r > 20*g.SourceRate {
+				t.Fatalf("%s: node %d rate %g explodes", tpl, v, r)
+			}
+		}
+	}
+}
+
+func TestTemplatesPartitionAndSimulate(t *testing.T) {
+	c := sim.DefaultCluster(4, 200)
+	for _, tpl := range AllTemplates() {
+		g, err := FromTemplate(tpl, 4, 5_000, rand.New(rand.NewSource(4)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := metis.Partition(g, metis.Options{Parts: c.Devices, Seed: 1})
+		p.Devices = c.Devices
+		r := sim.Reward(g, p, c)
+		if r <= 0 || r > 1 {
+			t.Fatalf("%s: reward %g", tpl, r)
+		}
+	}
+}

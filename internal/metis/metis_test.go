@@ -1,0 +1,306 @@
+package metis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+func testGraph(seed int64, minN, maxN int) *stream.Graph {
+	c := sim.DefaultCluster(5, 1000)
+	cfg := gen.DefaultConfig(minN, maxN, 10_000, c)
+	return gen.Generate(cfg, rand.New(rand.NewSource(seed)))
+}
+
+func TestPartitionValidAndBalanced(t *testing.T) {
+	g := testGraph(1, 60, 100)
+	opts := Options{Parts: 4, Seed: 1}
+	p := Partition(g, opts)
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	load := g.NodeLoad()
+	parts := make([]float64, 4)
+	var total float64
+	for v, d := range p.Assign {
+		parts[d] += load[v]
+		total += load[v]
+	}
+	maxAllowed := (1 + 0.05) * total / 4
+	for d, l := range parts {
+		// Allow slack for indivisible heavy nodes: a part may exceed the
+		// balance constraint by at most the heaviest single node.
+		var heaviest float64
+		for _, x := range load {
+			if x > heaviest {
+				heaviest = x
+			}
+		}
+		if l > maxAllowed+heaviest {
+			t.Fatalf("part %d load %.3g exceeds %.3g", d, l, maxAllowed+heaviest)
+		}
+	}
+}
+
+func TestPartitionSinglePart(t *testing.T) {
+	g := testGraph(2, 20, 30)
+	p := Partition(g, Options{Parts: 1, Seed: 1})
+	for _, d := range p.Assign {
+		if d != 0 {
+			t.Fatal("single part must assign everything to 0")
+		}
+	}
+}
+
+func TestPartitionBeatsRoundRobinCut(t *testing.T) {
+	g := testGraph(3, 80, 120)
+	k := 4
+	mp := Partition(g, Options{Parts: k, Seed: 1})
+	rr := stream.NewPlacement(g.NumNodes(), k)
+	for v := range rr.Assign {
+		rr.Assign[v] = v % k
+	}
+	if Cut(g, mp) >= Cut(g, rr) {
+		t.Fatalf("metis cut %.3g not better than round-robin %.3g", Cut(g, mp), Cut(g, rr))
+	}
+}
+
+func TestPartitionBeatsRandomReward(t *testing.T) {
+	c := sim.DefaultCluster(5, 1000)
+	g := testGraph(4, 80, 120)
+	mp := Partition(g, Options{Parts: 5, Seed: 1})
+	mp.Devices = 5
+	rng := rand.New(rand.NewSource(9))
+	var bestRandom float64
+	for trial := 0; trial < 5; trial++ {
+		rp := stream.NewPlacement(g.NumNodes(), 5)
+		for v := range rp.Assign {
+			rp.Assign[v] = rng.Intn(5)
+		}
+		if r := sim.Reward(g, rp, c); r > bestRandom {
+			bestRandom = r
+		}
+	}
+	if sim.Reward(g, mp, c) <= bestRandom {
+		t.Fatalf("metis reward %.3g not better than best of 5 random %.3g",
+			sim.Reward(g, mp, c), bestRandom)
+	}
+}
+
+func TestOracleNeverWorseThanFullMetis(t *testing.T) {
+	c := sim.DefaultCluster(5, 1000)
+	g := testGraph(5, 40, 80)
+	full := Partition(g, Options{Parts: c.Devices, Seed: 3})
+	full.Devices = c.Devices
+	op, k := Oracle(g, c, 3)
+	if k < 1 || k > c.Devices {
+		t.Fatalf("oracle picked k=%d", k)
+	}
+	if sim.Reward(g, op, c) < sim.Reward(g, full, c)-1e-12 {
+		t.Fatal("oracle worse than fixed-k metis")
+	}
+}
+
+func TestInferCollapsedEdgesReproducesGrouping(t *testing.T) {
+	g := testGraph(6, 30, 60)
+	p := Partition(g, Options{Parts: 3, Seed: 2})
+	collapse := InferCollapsedEdges(g, p)
+	cm := stream.CollapseEdges(g, collapse)
+	// Every super-node's members must lie in one part, and the super-nodes
+	// must exactly be the connected components of the intra-part subgraphs.
+	for _, members := range cm.Members() {
+		d := p.Assign[members[0]]
+		for _, v := range members[1:] {
+			if p.Assign[v] != d {
+				t.Fatal("super-node spans two parts")
+			}
+		}
+	}
+	// No collapsed edge crosses parts.
+	for ei, c := range collapse {
+		if c && p.Assign[g.Edges[ei].Src] != p.Assign[g.Edges[ei].Dst] {
+			t.Fatal("collapsed edge crosses parts")
+		}
+	}
+}
+
+func TestInferCollapsedPrefersHeavyEdges(t *testing.T) {
+	// Construct a triangle-ish graph in one part where the MST must pick
+	// the two heaviest of three intra-part edges.
+	g := stream.NewGraph(100)
+	for i := 0; i < 3; i++ {
+		g.AddNode(stream.Node{IPT: 1, Payload: 1})
+	}
+	e1 := g.AddEdge(0, 1, 10)   // traffic 1000
+	e2 := g.AddEdge(0, 2, 1000) // traffic 100000
+	e3 := g.AddEdge(1, 2, 100)  // traffic 10000
+	p := stream.NewPlacement(3, 1)
+	collapse := InferCollapsedEdges(g, p)
+	if !collapse[e2] || !collapse[e3] || collapse[e1] {
+		t.Fatalf("collapse = %v, want heaviest two", collapse)
+	}
+}
+
+func TestCoarsenHEMReducesToTarget(t *testing.T) {
+	g := testGraph(7, 100, 150)
+	target := 20
+	cm := CoarsenHEM(g, target, 1)
+	if cm.NumSuper > g.NumNodes() {
+		t.Fatal("coarsening grew the graph")
+	}
+	// HEM halves per round; it should get within 2× of the target.
+	if cm.NumSuper > 2*target {
+		t.Fatalf("coarsened to %d, target %d", cm.NumSuper, target)
+	}
+	if cm.NumSuper < 1 {
+		t.Fatal("empty coarse graph")
+	}
+}
+
+func TestCutComputation(t *testing.T) {
+	g := stream.NewGraph(10)
+	g.AddNode(stream.Node{IPT: 1, Payload: 100})
+	g.AddNode(stream.Node{IPT: 1, Payload: 100})
+	g.AddEdge(0, 1, 100)
+	p := stream.NewPlacement(2, 2)
+	if Cut(g, p) != 0 {
+		t.Fatal("intra-device edge counted as cut")
+	}
+	p.Assign[1] = 1
+	if math.Abs(Cut(g, p)-1000) > 1e-9 { // 100 payload × 10 rate
+		t.Fatalf("cut = %g", Cut(g, p))
+	}
+}
+
+// Property: partitions are always complete and in range, for random
+// graphs and part counts.
+func TestQuickPartitionValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testGraph(seed, 10, 60)
+		k := 2 + rng.Intn(6)
+		p := Partition(g, Options{Parts: k, Seed: seed})
+		if len(p.Assign) != g.NumNodes() {
+			return false
+		}
+		for _, d := range p.Assign {
+			if d < 0 || d >= k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: InferCollapsedEdges never collapses a cross-part edge and the
+// induced collapse is acyclic per part (spanning forest ⇒ #collapsed <
+// #nodes).
+func TestQuickInferCollapsedForest(t *testing.T) {
+	f := func(seed int64) bool {
+		g := testGraph(seed+1000, 20, 80)
+		p := Partition(g, Options{Parts: 4, Seed: seed})
+		collapse := InferCollapsedEdges(g, p)
+		count := 0
+		for ei, c := range collapse {
+			if !c {
+				continue
+			}
+			count++
+			if p.Assign[g.Edges[ei].Src] != p.Assign[g.Edges[ei].Dst] {
+				return false
+			}
+		}
+		return count < g.NumNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionHeterogeneousTargets(t *testing.T) {
+	g := testGraph(11, 80, 120)
+	// Device 0 should receive ~4x the load of each of the others.
+	fr := []float64{0.5, 0.125, 0.125, 0.125, 0.125}
+	p := Partition(g, Options{Parts: 5, Seed: 1, TargetFractions: fr})
+	load := g.NodeLoad()
+	parts := make([]float64, 5)
+	var total float64
+	for v, d := range p.Assign {
+		parts[d] += load[v]
+		total += load[v]
+	}
+	// Part 0's share must be clearly larger than a uniform share.
+	if parts[0]/total < 0.3 {
+		t.Fatalf("big device got %.2f of load, want ≥0.3 (target 0.5)", parts[0]/total)
+	}
+	for d := 1; d < 5; d++ {
+		if parts[d]/total > 0.3 {
+			t.Fatalf("small device %d got %.2f of load", d, parts[d]/total)
+		}
+	}
+}
+
+func TestPartitionRBValidAndBalanced(t *testing.T) {
+	g := testGraph(21, 60, 100)
+	for _, k := range []int{2, 3, 5, 7} {
+		p := PartitionRB(g, Options{Parts: k, Seed: 1})
+		if err := p.Validate(g); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		load := g.NodeLoad()
+		parts := make([]float64, k)
+		var total, heaviest float64
+		for v, d := range p.Assign {
+			parts[d] += load[v]
+			total += load[v]
+			if load[v] > heaviest {
+				heaviest = load[v]
+			}
+		}
+		// Recursive bisection compounds imbalance across levels; allow a
+		// generous bound of 2x the uniform share plus one node.
+		for d, l := range parts {
+			if l > 2*total/float64(k)+heaviest {
+				t.Fatalf("k=%d part %d load %.3g of total %.3g", k, d, l, total)
+			}
+		}
+	}
+}
+
+func TestPartitionRBSinglePart(t *testing.T) {
+	g := testGraph(22, 20, 40)
+	p := PartitionRB(g, Options{Parts: 1, Seed: 1})
+	for _, d := range p.Assign {
+		if d != 0 {
+			t.Fatal("single part")
+		}
+	}
+}
+
+func TestPartitionRBReasonableCut(t *testing.T) {
+	// Recursive bisection should land in the same quality class as direct
+	// k-way on these workloads (within 3x cut), and far better than a
+	// round-robin shredding.
+	g := testGraph(23, 80, 120)
+	k := 4
+	rb := PartitionRB(g, Options{Parts: k, Seed: 1})
+	kw := Partition(g, Options{Parts: k, Seed: 1})
+	rr := stream.NewPlacement(g.NumNodes(), k)
+	for v := range rr.Assign {
+		rr.Assign[v] = v % k
+	}
+	if Cut(g, rb) > 3*Cut(g, kw) {
+		t.Fatalf("bisection cut %.3g vs k-way %.3g", Cut(g, rb), Cut(g, kw))
+	}
+	if Cut(g, rb) >= Cut(g, rr) {
+		t.Fatalf("bisection cut %.3g no better than round robin %.3g", Cut(g, rb), Cut(g, rr))
+	}
+}

@@ -1,0 +1,400 @@
+// Package nn provides the neural-network building blocks used by the
+// coarsening model and the learned baselines: parameter registries, linear
+// layers, multi-layer perceptrons, an LSTM cell, multi-head self-attention,
+// and the Adam optimizer — all on top of the autodiff tape.
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"repro/internal/autodiff"
+	"repro/internal/tensor"
+)
+
+// Param is a named learnable matrix with Adam moment state.
+type Param struct {
+	Name  string
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+	m, v  *tensor.Matrix // Adam first/second moments
+}
+
+// ParamSet is a registry of parameters belonging to one model.
+type ParamSet struct {
+	params []*Param
+	byName map[string]*Param
+}
+
+// NewParamSet returns an empty registry.
+func NewParamSet() *ParamSet {
+	return &ParamSet{byName: make(map[string]*Param)}
+}
+
+// New registers a fresh zeroed parameter with the given shape.
+func (ps *ParamSet) New(name string, rows, cols int) *Param {
+	if _, dup := ps.byName[name]; dup {
+		panic(fmt.Sprintf("nn: duplicate parameter %q", name))
+	}
+	p := &Param{
+		Name:  name,
+		Value: tensor.New(rows, cols),
+		Grad:  tensor.New(rows, cols),
+		m:     tensor.New(rows, cols),
+		v:     tensor.New(rows, cols),
+	}
+	ps.params = append(ps.params, p)
+	ps.byName[name] = p
+	return p
+}
+
+// NewXavier registers a parameter initialized Glorot-uniform.
+func (ps *ParamSet) NewXavier(name string, rows, cols int, rng *rand.Rand) *Param {
+	p := ps.New(name, rows, cols)
+	p.Value.XavierInit(rng, cols, rows)
+	return p
+}
+
+// All returns the registered parameters in registration order.
+func (ps *ParamSet) All() []*Param { return ps.params }
+
+// Get returns a parameter by name, or nil.
+func (ps *ParamSet) Get(name string) *Param { return ps.byName[name] }
+
+// Count returns the total number of scalar parameters.
+func (ps *ParamSet) Count() int {
+	n := 0
+	for _, p := range ps.params {
+		n += len(p.Value.Data)
+	}
+	return n
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (ps *ParamSet) ZeroGrads() {
+	for _, p := range ps.params {
+		p.Grad.Zero()
+	}
+}
+
+// AccumulateFromTape adds tape gradients (if any) for each parameter node
+// into the parameter's Grad buffer. nodes maps Param→its leaf on the tape.
+func AccumulateFromTape(nodes map[*Param]*autodiff.Node) {
+	for p, n := range nodes {
+		if g := n.Grad(); g != nil {
+			tensor.AddInPlace(p.Grad, g)
+		}
+	}
+}
+
+// Binder creates tape leaves for parameters and remembers the association
+// so gradients can be pulled back after Backward.
+type Binder struct {
+	Tape  *autodiff.Tape
+	nodes map[*Param]*autodiff.Node
+}
+
+// NewBinder wraps a tape.
+func NewBinder(t *autodiff.Tape) *Binder {
+	return &Binder{Tape: t, nodes: make(map[*Param]*autodiff.Node)}
+}
+
+// Node returns (creating on first use) the tape leaf for p.
+func (b *Binder) Node(p *Param) *autodiff.Node {
+	if n, ok := b.nodes[p]; ok {
+		return n
+	}
+	n := b.Tape.Leaf(p.Value)
+	b.nodes[p] = n
+	return n
+}
+
+// Collect accumulates tape gradients into every bound parameter.
+func (b *Binder) Collect() { AccumulateFromTape(b.nodes) }
+
+// Adam is the Adam optimizer (Kingma & Ba, 2014) with optional gradient
+// clipping by global norm.
+type Adam struct {
+	LR       float64
+	Beta1    float64
+	Beta2    float64
+	Eps      float64
+	ClipNorm float64 // 0 disables clipping
+	step     int
+}
+
+// NewAdam returns Adam with the paper's defaults (lr=0.001).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, ClipNorm: 5}
+}
+
+// Step applies one update to every parameter using its Grad buffer.
+func (a *Adam) Step(ps *ParamSet) {
+	a.step++
+	if a.ClipNorm > 0 {
+		var norm2 float64
+		for _, p := range ps.params {
+			for _, g := range p.Grad.Data {
+				norm2 += g * g
+			}
+		}
+		if norm := math.Sqrt(norm2); norm > a.ClipNorm {
+			scale := a.ClipNorm / norm
+			for _, p := range ps.params {
+				for i := range p.Grad.Data {
+					p.Grad.Data[i] *= scale
+				}
+			}
+		}
+	}
+	b1c := 1 - math.Pow(a.Beta1, float64(a.step))
+	b2c := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range ps.params {
+		for i, g := range p.Grad.Data {
+			p.m.Data[i] = a.Beta1*p.m.Data[i] + (1-a.Beta1)*g
+			p.v.Data[i] = a.Beta2*p.v.Data[i] + (1-a.Beta2)*g*g
+			mh := p.m.Data[i] / b1c
+			vh := p.v.Data[i] / b2c
+			p.Value.Data[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}
+
+// StepCount returns the number of optimizer steps taken.
+func (a *Adam) StepCount() int { return a.step }
+
+// Linear is a fully connected layer y = x·Wᵀ + b.
+type Linear struct {
+	W *Param // out×in
+	B *Param // 1×out
+}
+
+// NewLinear registers a Glorot-initialized linear layer on ps.
+func NewLinear(ps *ParamSet, name string, in, out int, rng *rand.Rand) *Linear {
+	return &Linear{
+		W: ps.NewXavier(name+".W", out, in, rng),
+		B: ps.New(name+".b", 1, out),
+	}
+}
+
+// Apply records y = x·Wᵀ + b on the binder's tape. x is rows×in.
+func (l *Linear) Apply(b *Binder, x *autodiff.Node) *autodiff.Node {
+	wT := b.Tape.Transpose(b.Node(l.W))
+	return b.Tape.AddRowVector(b.Tape.MatMul(x, wT), b.Node(l.B))
+}
+
+// Activation selects the non-linearity applied between MLP layers.
+type Activation int
+
+// Supported activations.
+const (
+	ActTanh Activation = iota
+	ActReLU
+	ActSigmoid
+	ActNone
+)
+
+func applyAct(t *autodiff.Tape, x *autodiff.Node, a Activation) *autodiff.Node {
+	switch a {
+	case ActTanh:
+		return t.Tanh(x)
+	case ActReLU:
+		return t.ReLU(x)
+	case ActSigmoid:
+		return t.Sigmoid(x)
+	default:
+		return x
+	}
+}
+
+// MLP is a stack of linear layers with a shared hidden activation and a
+// configurable output activation.
+type MLP struct {
+	Layers []*Linear
+	Hidden Activation
+	Out    Activation
+}
+
+// NewMLP builds an MLP with the given layer sizes, e.g. sizes = [in, h, out].
+func NewMLP(ps *ParamSet, name string, sizes []int, hidden, out Activation, rng *rand.Rand) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least two sizes")
+	}
+	m := &MLP{Hidden: hidden, Out: out}
+	for i := 0; i+1 < len(sizes); i++ {
+		m.Layers = append(m.Layers, NewLinear(ps, fmt.Sprintf("%s.l%d", name, i), sizes[i], sizes[i+1], rng))
+	}
+	return m
+}
+
+// Apply records the full MLP forward pass.
+func (m *MLP) Apply(b *Binder, x *autodiff.Node) *autodiff.Node {
+	for i, l := range m.Layers {
+		x = l.Apply(b, x)
+		if i+1 < len(m.Layers) {
+			x = applyAct(b.Tape, x, m.Hidden)
+		} else {
+			x = applyAct(b.Tape, x, m.Out)
+		}
+	}
+	return x
+}
+
+// LSTMCell is a standard LSTM cell used by the sequential decoders of the
+// Graph-enc-dec and Hierarchical baselines.
+type LSTMCell struct {
+	// Gates stacked as one matrix for efficiency: [i; f; g; o].
+	Wx *Param // 4h×in
+	Wh *Param // 4h×h
+	B  *Param // 1×4h
+	H  int
+}
+
+// NewLSTMCell registers an LSTM cell with input size in and hidden size h.
+func NewLSTMCell(ps *ParamSet, name string, in, h int, rng *rand.Rand) *LSTMCell {
+	c := &LSTMCell{
+		Wx: ps.NewXavier(name+".Wx", 4*h, in, rng),
+		Wh: ps.NewXavier(name+".Wh", 4*h, h, rng),
+		B:  ps.New(name+".b", 1, 4*h),
+		H:  h,
+	}
+	// Initialize forget-gate bias to 1 (standard trick for gradient flow).
+	for j := h; j < 2*h; j++ {
+		c.B.Value.Data[j] = 1
+	}
+	return c
+}
+
+// Step records one LSTM step. x is 1×in; h, c are 1×H (pass tape constants
+// of zeros for the initial state). Returns (hNext, cNext).
+func (l *LSTMCell) Step(b *Binder, x, h, c *autodiff.Node) (*autodiff.Node, *autodiff.Node) {
+	t := b.Tape
+	z := t.Add(
+		t.MatMul(x, t.Transpose(b.Node(l.Wx))),
+		t.MatMul(h, t.Transpose(b.Node(l.Wh))),
+	)
+	z = t.AddRowVector(z, b.Node(l.B))
+	H := l.H
+	ig := t.Sigmoid(t.SliceCols(z, 0, H))
+	fg := t.Sigmoid(t.SliceCols(z, H, 2*H))
+	gg := t.Tanh(t.SliceCols(z, 2*H, 3*H))
+	og := t.Sigmoid(t.SliceCols(z, 3*H, 4*H))
+	cNext := t.Add(t.Mul(fg, c), t.Mul(ig, gg))
+	hNext := t.Mul(og, t.Tanh(cNext))
+	return hNext, cNext
+}
+
+// MultiHeadAttention is a single block of scaled dot-product self-attention
+// (the simplification of GDP's Transformer-XL placement network; see
+// DESIGN.md §2).
+type MultiHeadAttention struct {
+	WQ, WK, WV, WO *Param
+	Heads          int
+	Dim            int // model dimension; per-head dim = Dim/Heads
+}
+
+// NewMultiHeadAttention registers an attention block with model dim d and
+// the given number of heads (d must be divisible by heads).
+func NewMultiHeadAttention(ps *ParamSet, name string, d, heads int, rng *rand.Rand) *MultiHeadAttention {
+	if d%heads != 0 {
+		panic("nn: attention dim must be divisible by heads")
+	}
+	return &MultiHeadAttention{
+		WQ:    ps.NewXavier(name+".WQ", d, d, rng),
+		WK:    ps.NewXavier(name+".WK", d, d, rng),
+		WV:    ps.NewXavier(name+".WV", d, d, rng),
+		WO:    ps.NewXavier(name+".WO", d, d, rng),
+		Heads: heads,
+		Dim:   d,
+	}
+}
+
+// Apply records self-attention over x (N×Dim) and returns N×Dim with a
+// residual connection.
+func (a *MultiHeadAttention) Apply(b *Binder, x *autodiff.Node) *autodiff.Node {
+	t := b.Tape
+	q := t.MatMul(x, t.Transpose(b.Node(a.WQ)))
+	k := t.MatMul(x, t.Transpose(b.Node(a.WK)))
+	v := t.MatMul(x, t.Transpose(b.Node(a.WV)))
+	dh := a.Dim / a.Heads
+	outs := make([]*autodiff.Node, a.Heads)
+	for h := 0; h < a.Heads; h++ {
+		qh := t.SliceCols(q, h*dh, (h+1)*dh)
+		kh := t.SliceCols(k, h*dh, (h+1)*dh)
+		vh := t.SliceCols(v, h*dh, (h+1)*dh)
+		scores := t.Scale(t.MatMul(qh, t.Transpose(kh)), 1/math.Sqrt(float64(dh)))
+		// softmax = exp(log-softmax); two tape ops, numerically stable.
+		attn := t.Exp(t.LogSoftmaxRows(scores))
+		outs[h] = t.MatMul(attn, vh)
+	}
+	concat := t.ConcatCols(outs...)
+	proj := t.MatMul(concat, t.Transpose(b.Node(a.WO)))
+	return t.Add(x, proj) // residual
+}
+
+// SaveParams writes all parameter values of ps as JSON to path.
+func SaveParams(ps *ParamSet, path string) error {
+	out := make(map[string]savedParam, len(ps.params))
+	for _, p := range ps.params {
+		out[p.Name] = savedParam{Rows: p.Value.Rows, Cols: p.Value.Cols, Data: p.Value.Data}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nn: save params: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	return enc.Encode(out)
+}
+
+// LoadParams reads parameter values from path into ps; every stored name
+// must exist in ps with a matching shape.
+func LoadParams(ps *ParamSet, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("nn: load params: %w", err)
+	}
+	defer f.Close()
+	var in map[string]savedParam
+	if err := json.NewDecoder(f).Decode(&in); err != nil {
+		return fmt.Errorf("nn: decode params: %w", err)
+	}
+	for name, sp := range in {
+		p := ps.Get(name)
+		if p == nil {
+			return fmt.Errorf("nn: unknown parameter %q in %s", name, path)
+		}
+		if p.Value.Rows != sp.Rows || p.Value.Cols != sp.Cols {
+			return fmt.Errorf("nn: shape mismatch for %q: have %dx%d, file %dx%d",
+				name, p.Value.Rows, p.Value.Cols, sp.Rows, sp.Cols)
+		}
+		copy(p.Value.Data, sp.Data)
+	}
+	return nil
+}
+
+type savedParam struct {
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+// CopyValuesFrom copies parameter values from src into ps by name; both
+// sets must contain identically shaped parameters. Used by curriculum
+// fine-tuning to warm-start a model.
+func CopyValuesFrom(dst, src *ParamSet) error {
+	for _, p := range dst.params {
+		sp := src.Get(p.Name)
+		if sp == nil {
+			return fmt.Errorf("nn: source missing parameter %q", p.Name)
+		}
+		if !sp.Value.SameShape(p.Value) {
+			return fmt.Errorf("nn: shape mismatch for %q", p.Name)
+		}
+		copy(p.Value.Data, sp.Value.Data)
+	}
+	return nil
+}

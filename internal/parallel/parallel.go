@@ -1,0 +1,121 @@
+// Package parallel provides small, dependency-free worker-pool utilities
+// used throughout the repository to fan out per-graph work: dataset
+// generation, batch evaluation of allocations, and REINFORCE sample scoring.
+//
+// All helpers are deterministic in their outputs (each index computes its
+// own result slot) even though execution order is not.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the default degree of parallelism: GOMAXPROCS.
+func DefaultWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for i in [0, n) on up to workers goroutines.
+// workers <= 0 selects DefaultWorkers(). It blocks until all calls return.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachErr runs fn(i) for i in [0, n) in parallel and returns the first
+// error encountered (by index order among failures is not guaranteed; the
+// lowest-index error wins when several occur). All indices are attempted.
+func ForEachErr(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	ForEach(n, workers, func(i int) {
+		errs[i] = fn(i)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("task %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Map applies fn to each index and collects the results in order.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}
+
+// ChunkRanges splits [0, n) into at most parts contiguous half-open ranges
+// of near-equal size. Useful for row-blocked matrix kernels.
+func ChunkRanges(n, parts int) [][2]int {
+	if n <= 0 || parts <= 0 {
+		return nil
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([][2]int, 0, parts)
+	base := n / parts
+	rem := n % parts
+	start := 0
+	for p := 0; p < parts; p++ {
+		size := base
+		if p < rem {
+			size++
+		}
+		out = append(out, [2]int{start, start + size})
+		start += size
+	}
+	return out
+}
+
+// Reduce applies fn to each index in parallel and folds the results with
+// combine, which must be associative and commutative. zero is the identity.
+func Reduce[T any](n, workers int, zero T, fn func(i int) T, combine func(a, b T) T) T {
+	if n <= 0 {
+		return zero
+	}
+	vals := Map(n, workers, fn)
+	acc := zero
+	for _, v := range vals {
+		acc = combine(acc, v)
+	}
+	return acc
+}

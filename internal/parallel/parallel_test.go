@@ -1,0 +1,106 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		n := 257
+		seen := make([]int32, n)
+		ForEach(n, workers, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	calls := 0
+	ForEach(0, 4, func(int) { calls++ })
+	ForEach(-3, 4, func(int) { calls++ })
+	if calls != 0 {
+		t.Fatalf("expected no calls, got %d", calls)
+	}
+}
+
+func TestForEachErrReturnsLowestIndexError(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := ForEachErr(10, 4, func(i int) error {
+		if i == 3 || i == 7 {
+			return sentinel
+		}
+		return nil
+	})
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := err.Error(); got != "task 3: boom" {
+		t.Fatalf("expected lowest-index error, got %q", got)
+	}
+}
+
+func TestForEachErrNil(t *testing.T) {
+	if err := ForEachErr(5, 2, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapOrdering(t *testing.T) {
+	out := Map(100, 8, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestReduce(t *testing.T) {
+	sum := Reduce(100, 4, 0, func(i int) int { return i }, func(a, b int) int { return a + b })
+	if sum != 4950 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestChunkRangesPartition(t *testing.T) {
+	f := func(n, parts uint8) bool {
+		chunks := ChunkRanges(int(n), int(parts))
+		if n == 0 || parts == 0 {
+			return chunks == nil
+		}
+		// Chunks must tile [0,n) exactly, in order, non-empty.
+		next := 0
+		for _, c := range chunks {
+			if c[0] != next || c[1] <= c[0] {
+				return false
+			}
+			next = c[1]
+		}
+		return next == int(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkRangesBalance(t *testing.T) {
+	chunks := ChunkRanges(10, 3)
+	if len(chunks) != 3 {
+		t.Fatalf("len = %d", len(chunks))
+	}
+	sizes := []int{chunks[0][1] - chunks[0][0], chunks[1][1] - chunks[1][0], chunks[2][1] - chunks[2][0]}
+	if sizes[0] != 4 || sizes[1] != 3 || sizes[2] != 3 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatal("DefaultWorkers < 1")
+	}
+}

@@ -1,0 +1,81 @@
+package placer
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+// HillClimb is a simulator-in-the-loop local-search placer: starting from
+// the Metis partition (plus optional random restarts), it repeatedly moves
+// single operators to the device that maximizes simulated throughput until
+// a local optimum. It is far too slow for deployment but provides an
+// empirical near-upper bound on what any placement method can achieve
+// under the simulator — the headroom yardstick used throughout
+// EXPERIMENTS.md.
+type HillClimb struct {
+	Seed     int64
+	Restarts int // additional random restarts beyond the Metis start (default 1)
+	MaxPass  int // sweeps per start (default 20)
+}
+
+// Place implements Placer.
+func (h HillClimb) Place(g *stream.Graph, cluster sim.Cluster) *stream.Placement {
+	restarts := h.Restarts
+	if restarts < 0 {
+		restarts = 0
+	}
+	maxPass := h.MaxPass
+	if maxPass <= 0 {
+		maxPass = 20
+	}
+	rng := rand.New(rand.NewSource(h.Seed))
+	n := g.NumNodes()
+
+	var best *stream.Placement
+	bestR := -1.0
+	for start := 0; start <= restarts; start++ {
+		p := stream.NewPlacement(n, cluster.Devices)
+		if start == 0 {
+			mp := Metis{Seed: h.Seed}.Place(g, cluster)
+			copy(p.Assign, mp.Assign)
+		} else {
+			for v := range p.Assign {
+				p.Assign[v] = rng.Intn(cluster.Devices)
+			}
+		}
+		cur := sim.Reward(g, p, cluster)
+		for pass := 0; pass < maxPass; pass++ {
+			improved := false
+			for v := 0; v < n; v++ {
+				orig := p.Assign[v]
+				bestDev, bestVal := orig, cur
+				for d := 0; d < cluster.Devices; d++ {
+					if d == orig {
+						continue
+					}
+					p.Assign[v] = d
+					if r := sim.Reward(g, p, cluster); r > bestVal {
+						bestDev, bestVal = d, r
+					}
+				}
+				p.Assign[v] = bestDev
+				if bestDev != orig {
+					cur = bestVal
+					improved = true
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+		if cur > bestR {
+			best, bestR = p, cur
+		}
+	}
+	return best
+}
+
+// Name implements Placer.
+func (HillClimb) Name() string { return "hill-climb" }

@@ -1,0 +1,359 @@
+// Package rl trains the coarsening model with REINFORCE (§III):
+//
+//	∇J(θ) = (1/N) Σ_n ∇log π_θ(G_y^n) · [r(G_y^n) − b]
+//
+// where the policy π_θ factorizes over per-edge Bernoulli collapse
+// decisions, r is the simulated relative throughput of the resulting
+// allocation, and the baseline b is the mean reward of the on-policy
+// samples plus the historically best samples kept in a per-graph memory
+// buffer. Metis-guided training (§IV-C) seeds that buffer with decision
+// vectors inferred from Metis partitions via maximum-spanning-tree
+// collapse inference; guided entries are evicted as soon as the policy
+// finds better samples, exactly as described in the paper.
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"math"
+	"repro/internal/core"
+	"repro/internal/gnn"
+	"repro/internal/metis"
+	"repro/internal/nn"
+	"repro/internal/parallel"
+	"repro/internal/sim"
+
+	"repro/internal/stream"
+
+	"repro/internal/autodiff"
+)
+
+// Config controls one training run.
+type Config struct {
+	// Epochs is the number of passes over the training graphs (paper: 20
+	// from scratch, 3–10 when fine-tuning).
+	Epochs int
+	// OnPolicySamples per graph per step (paper: 3).
+	OnPolicySamples int
+	// BufferSamples is the maximum number of memory-buffer samples mixed
+	// into each step (paper: up to 3).
+	BufferSamples int
+	// LR is the Adam learning rate (paper: 0.001).
+	LR float64
+	// MetisGuided seeds memory buffers with Metis-derived decisions.
+	MetisGuided bool
+	// PretrainEpochs is the number of maximum-likelihood imitation epochs
+	// over the Metis-guided collapse decisions run before REINFORCE. This
+	// is the paper's Metis-guided cold-start signal (§IV-C) in its
+	// strongest form: at CPU-scale training budgets the pure
+	// buffer-mixing variant cannot transfer the collapse concept before
+	// lucky on-policy samples evict the guided entries.
+	PretrainEpochs int
+	// Seed drives sampling.
+	Seed int64
+	// Quiet suppresses progress logging.
+	Quiet bool
+	// Logf receives progress lines when non-nil (and Quiet is false).
+	Logf func(format string, args ...any)
+}
+
+// DefaultConfig mirrors the paper's hyperparameters at CPU scale.
+func DefaultConfig() Config {
+	return Config{
+		Epochs:          6,
+		OnPolicySamples: 4,
+		BufferSamples:   3,
+		LR:              0.002,
+		MetisGuided:     true,
+		PretrainEpochs:  16,
+		Seed:            7,
+	}
+}
+
+// scored is a decision vector with its achieved reward.
+type scored struct {
+	d      core.Decision
+	reward float64
+	guided bool // true for Metis-seeded entries
+}
+
+// Trainer holds the mutable training state for one model.
+type Trainer struct {
+	Cfg      Config
+	Model    *core.Model
+	Pipeline *core.Pipeline
+	Opt      *nn.Adam
+
+	// buffer holds the best historical samples per training-graph index.
+	buffer map[int][]scored
+	rng    *rand.Rand
+
+	// History records the mean on-policy reward per epoch.
+	History []float64
+}
+
+// NewTrainer builds a trainer around a model and pipeline.
+func NewTrainer(cfg Config, model *core.Model, pipe *core.Pipeline) *Trainer {
+	if pipe.Model != model {
+		panic("rl: pipeline must wrap the trained model")
+	}
+	return &Trainer{
+		Cfg:      cfg,
+		Model:    model,
+		Pipeline: pipe,
+		Opt:      nn.NewAdam(cfg.LR),
+		buffer:   make(map[int][]scored),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+func (t *Trainer) logf(format string, args ...any) {
+	if t.Cfg.Quiet {
+		return
+	}
+	if t.Cfg.Logf != nil {
+		t.Cfg.Logf(format, args...)
+		return
+	}
+	fmt.Printf(format+"\n", args...)
+}
+
+// SeedMetisGuided populates the buffers with Metis-derived decisions for
+// every training graph (run before the first epoch when MetisGuided).
+func (t *Trainer) SeedMetisGuided(graphs []*stream.Graph, cluster sim.Cluster) {
+	entries := parallel.Map(len(graphs), 0, func(i int) scored {
+		g := graphs[i]
+		mp := metis.Partition(g, metis.Options{Parts: cluster.Devices, Seed: t.Cfg.Seed})
+		mp.Devices = cluster.Devices
+		d := core.Decision(metis.InferCollapsedEdges(g, mp))
+		alloc := t.Pipeline.AllocateDecision(g, cluster, d)
+		return scored{d: d, reward: sim.Reward(g, alloc.Placement, cluster), guided: true}
+	})
+	for i, e := range entries {
+		t.buffer[i] = append(t.buffer[i], e)
+	}
+}
+
+// step trains on one graph and returns the mean on-policy reward.
+func (t *Trainer) step(gi int, g *stream.Graph, cluster sim.Cluster) float64 {
+	f := gnn.BuildFeatures(g, cluster)
+	tape := autodiff.NewTape()
+	binder := nn.NewBinder(tape)
+	probs := t.Model.EdgeProbs(binder, f)
+
+	// Draw on-policy samples from the current probabilities.
+	n := t.Cfg.OnPolicySamples
+	samples := make([]scored, n)
+	pv := probs.Value
+	for s := 0; s < n; s++ {
+		d := make(core.Decision, pv.Rows)
+		for i := 0; i < pv.Rows; i++ {
+			d[i] = t.rng.Float64() < pv.Data[i]
+		}
+		samples[s] = scored{d: d}
+	}
+	// Evaluate rewards in parallel (coarsen → partition → simulate).
+	parallel.ForEach(n, 0, func(s int) {
+		alloc := t.Pipeline.AllocateDecision(g, cluster, samples[s].d)
+		samples[s].reward = sim.Reward(g, alloc.Placement, cluster)
+	})
+	var onPolicyMean float64
+	for _, s := range samples {
+		onPolicyMean += s.reward
+	}
+	onPolicyMean /= float64(n)
+
+	// Mix in buffered best samples.
+	buf := t.buffer[gi]
+	take := t.Cfg.BufferSamples
+	if take > len(buf) {
+		take = len(buf)
+	}
+	batch := append(append([]scored(nil), samples...), buf[:take]...)
+
+	// Baseline: mean reward across the batch; advantages are normalized by
+	// the batch reward spread so the gradient scale stays useful even when
+	// rewards cluster tightly (they do once the policy is competent).
+	var b float64
+	for _, s := range batch {
+		b += s.reward
+	}
+	b /= float64(len(batch))
+	var sd float64
+	for _, s := range batch {
+		sd += (s.reward - b) * (s.reward - b)
+	}
+	sd = math.Sqrt(sd / float64(len(batch)))
+	if sd < 1e-3 {
+		sd = 1e-3
+	}
+
+	// Accumulate the policy-gradient loss on the tape. The advantage is
+	// divided by the edge count so the gradient scale is independent of
+	// graph size (log π sums over all |E| Bernoulli decisions) and
+	// commensurate with the guided pretraining loss.
+	var loss *autodiff.Node
+	inv := 1 / float64(len(batch)) / float64(g.NumEdges())
+	for _, s := range batch {
+		adv := (s.reward - b) / sd * inv
+		if adv == 0 {
+			continue
+		}
+		l := core.LogProbLoss(binder, probs, s.d, adv)
+		if loss == nil {
+			loss = l
+		} else {
+			loss = tape.Add(loss, l)
+		}
+	}
+	if loss != nil {
+		t.Model.PS.ZeroGrads()
+		tape.Backward(loss, nil)
+		binder.Collect()
+		t.Opt.Step(t.Model.PS)
+	}
+
+	// Update the buffer with the new samples; keep the best, evicting
+	// guided entries once on-policy samples beat them.
+	t.updateBuffer(gi, samples)
+	return onPolicyMean
+}
+
+func (t *Trainer) updateBuffer(gi int, samples []scored) {
+	buf := append(t.buffer[gi], samples...)
+	sort.SliceStable(buf, func(a, b int) bool {
+		if buf[a].reward != buf[b].reward {
+			return buf[a].reward > buf[b].reward
+		}
+		// Prefer on-policy over guided at equal reward so guided signals
+		// phase out ("no longer affect model optimization", §IV-C).
+		return !buf[a].guided && buf[b].guided
+	})
+	max := t.Cfg.BufferSamples
+	if max < 1 {
+		max = 1
+	}
+	if len(buf) > max {
+		buf = buf[:max]
+	}
+	t.buffer[gi] = buf
+}
+
+// PretrainGuided runs maximum-likelihood imitation of the Metis-guided
+// collapse decisions for Cfg.PretrainEpochs epochs. It teaches the model
+// which edges belong together (heavy intra-part spanning edges) before any
+// reward signal is available — the cold-start guidance of §IV-C.
+func (t *Trainer) PretrainGuided(graphs []*stream.Graph, cluster sim.Cluster) {
+	if t.Cfg.PretrainEpochs <= 0 {
+		return
+	}
+	targets := parallel.Map(len(graphs), 0, func(i int) core.Decision {
+		mp := metis.Partition(graphs[i], metis.Options{Parts: cluster.Devices, Seed: t.Cfg.Seed})
+		mp.Devices = cluster.Devices
+		return core.Decision(metis.InferCollapsedEdges(graphs[i], mp))
+	})
+	for epoch := 0; epoch < t.Cfg.PretrainEpochs; epoch++ {
+		for i, g := range graphs {
+			f := gnn.BuildFeatures(g, cluster)
+			tape := autodiff.NewTape()
+			binder := nn.NewBinder(tape)
+			probs := t.Model.EdgeProbs(binder, f)
+			loss := core.LogProbLoss(binder, probs, targets[i], 1/float64(g.NumEdges()))
+			t.Model.PS.ZeroGrads()
+			tape.Backward(loss, nil)
+			binder.Collect()
+			t.Opt.Step(t.Model.PS)
+		}
+		t.logf("rl: pretrain epoch %d/%d", epoch+1, t.Cfg.PretrainEpochs)
+	}
+}
+
+// TrainOn runs guided pretraining (first call only) followed by
+// Cfg.Epochs of REINFORCE over the graphs.
+func (t *Trainer) TrainOn(graphs []*stream.Graph, cluster sim.Cluster) {
+	if t.Cfg.MetisGuided && len(t.buffer) == 0 {
+		t.PretrainGuided(graphs, cluster)
+		t.SeedMetisGuided(graphs, cluster)
+	}
+	order := make([]int, len(graphs))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < t.Cfg.Epochs; epoch++ {
+		t.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var mean float64
+		for _, gi := range order {
+			mean += t.step(gi, graphs[gi], cluster)
+		}
+		mean /= float64(len(graphs))
+		t.History = append(t.History, mean)
+		t.logf("rl: epoch %d/%d mean on-policy reward %.4f", epoch+1, t.Cfg.Epochs, mean)
+	}
+}
+
+// ResetBuffers clears the per-graph memory (use when switching datasets
+// during curriculum fine-tuning: graph indices change meaning).
+func (t *Trainer) ResetBuffers() {
+	t.buffer = make(map[int][]scored)
+}
+
+// Level is one curriculum stage (§IV-C): a dataset plus epochs to train.
+type Level struct {
+	Name    string
+	Graphs  []*stream.Graph
+	Cluster sim.Cluster
+	Epochs  int
+}
+
+// Curriculum trains the model through the levels in order, carrying
+// parameters forward and resetting per-graph buffers between levels (the
+// paper's size-based curriculum: 100–200/10dev → 400–500/10dev →
+// 1–2K/20dev).
+func (t *Trainer) Curriculum(levels []Level) {
+	for li, lv := range levels {
+		t.ResetBuffers()
+		saved := t.Cfg.Epochs
+		if lv.Epochs > 0 {
+			t.Cfg.Epochs = lv.Epochs
+		}
+		t.logf("rl: curriculum level %d/%d (%s): %d graphs, %d devices",
+			li+1, len(levels), lv.Name, len(lv.Graphs), lv.Cluster.Devices)
+		t.TrainOn(lv.Graphs, lv.Cluster)
+		t.Cfg.Epochs = saved
+	}
+}
+
+// Evaluate runs deployment-time inference (ranked coarsening sweep) on
+// every graph and returns the per-graph relative throughputs.
+func Evaluate(pipe *core.Pipeline, graphs []*stream.Graph, cluster sim.Cluster) []float64 {
+	return parallel.Map(len(graphs), 0, func(i int) float64 {
+		alloc := pipe.Allocate(graphs[i], cluster)
+		return sim.Reward(graphs[i], alloc.Placement, cluster)
+	})
+}
+
+// EvaluateGreedy runs pure threshold-0.5 inference on every graph (used by
+// inference-mode ablations).
+func EvaluateGreedy(pipe *core.Pipeline, graphs []*stream.Graph, cluster sim.Cluster) []float64 {
+	return parallel.Map(len(graphs), 0, func(i int) float64 {
+		alloc := pipe.AllocateGreedy(graphs[i], cluster)
+		return sim.Reward(graphs[i], alloc.Placement, cluster)
+	})
+}
+
+// SaveCheckpoint writes the model parameters plus trainer history to path
+// (JSON). The optimizer's moment estimates are not persisted: resuming
+// re-warms Adam, which is standard practice for fine-tuning stages.
+func (t *Trainer) SaveCheckpoint(path string) error {
+	if err := nn.SaveParams(t.Model.PS, path); err != nil {
+		return err
+	}
+	return nil
+}
+
+// LoadCheckpoint restores model parameters saved by SaveCheckpoint.
+func (t *Trainer) LoadCheckpoint(path string) error {
+	return nn.LoadParams(t.Model.PS, path)
+}

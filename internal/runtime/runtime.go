@@ -1,0 +1,366 @@
+// Package runtime executes a stream graph placement as a real concurrent
+// program: every device is a goroutine, every edge a bounded channel, CPU
+// and NIC capacities are token buckets replenished in scaled time, and
+// backpressure arises naturally from full channels — exactly the mechanism
+// the paper's reward models (throughput under backpressure).
+//
+// The paper validates CEPSim against a real streaming platform by checking
+// that relative performance ranks are preserved (§III). This package plays
+// the role of that real platform for the repository's simulators: the
+// sim-validation experiment measures rank concordance between the fluid
+// solver, the discrete-event solver, and this runtime.
+//
+// Tuples are not materialized individually; batches carry counts, so the
+// runtime measures scheduling/contention behaviour, not payload copying.
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+// Config controls one execution.
+type Config struct {
+	// WallTime is how long to run in real time.
+	WallTime time.Duration
+	// TimeScale is simulated seconds per wall second: capacities and
+	// source rates are multiplied by it, letting a 200 ms run cover
+	// multiple simulated seconds of traffic.
+	TimeScale float64
+	// BatchTuples is the tuple count carried per channel message.
+	BatchTuples float64
+	// ChannelDepth is the per-edge channel capacity in batches; together
+	// with BatchTuples it bounds queued tuples and creates backpressure.
+	ChannelDepth int
+	// WarmupFrac of WallTime is excluded from throughput measurement.
+	WarmupFrac float64
+}
+
+// DefaultConfig runs 300 ms of wall time at 10× time scale.
+func DefaultConfig() Config {
+	return Config{
+		WallTime:     300 * time.Millisecond,
+		TimeScale:    10,
+		BatchTuples:  64,
+		ChannelDepth: 32,
+		WarmupFrac:   0.3,
+	}
+}
+
+// Result reports the measured execution.
+type Result struct {
+	// Relative is measured throughput / source rate ∈ [0, 1] — the same
+	// quantity the simulators report.
+	Relative float64
+	// SinkTuples is the total tuples absorbed by sinks after warmup.
+	SinkTuples float64
+	// Elapsed is the measured (post-warmup) window in simulated seconds.
+	Elapsed float64
+}
+
+// batch is one channel message.
+type batch struct {
+	tuples float64
+}
+
+// bucket is a time-replenished token bucket (tokens = instructions or bits).
+type bucket struct {
+	mu     sync.Mutex
+	tokens float64
+	rate   float64 // tokens per wall second
+	last   time.Time
+	burst  float64
+}
+
+func newBucket(rate float64, start time.Time) *bucket {
+	// Burst is ~4 ms of capacity: long enough to ride scheduling jitter,
+	// short enough not to inflate throughput over a sub-second window.
+	return &bucket{rate: rate, last: start, burst: rate * 0.004, tokens: rate * 0.001}
+}
+
+// take attempts to consume want tokens; it returns how many were granted
+// (possibly 0). Tokens accrue with wall time.
+func (b *bucket) take(want float64, now time.Time) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	dt := now.Sub(b.last).Seconds()
+	if dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens <= 0 {
+		return 0
+	}
+	grant := want
+	if grant > b.tokens {
+		grant = b.tokens
+	}
+	b.tokens -= grant
+	return grant
+}
+
+// Run executes the placement and measures throughput.
+func Run(g *stream.Graph, p *stream.Placement, c sim.Cluster, cfg Config) (Result, error) {
+	if err := p.Validate(g); err != nil {
+		return Result{}, err
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return Result{}, fmt.Errorf("runtime: %w", err)
+	}
+	if cfg.WallTime <= 0 || cfg.TimeScale <= 0 || cfg.BatchTuples <= 0 || cfg.ChannelDepth <= 0 {
+		return Result{}, fmt.Errorf("runtime: invalid config %+v", cfg)
+	}
+
+	n := g.NumNodes()
+	start := time.Now()
+
+	// One bounded channel per edge.
+	chans := make([]chan batch, g.NumEdges())
+	for i := range chans {
+		chans[i] = make(chan batch, cfg.ChannelDepth)
+	}
+
+	// Capacities in wall-time token rates (scaled).
+	cpu := make([]*bucket, c.Devices)
+	egress := make([]*bucket, c.Devices)
+	ingress := make([]*bucket, c.Devices)
+	for d := 0; d < c.Devices; d++ {
+		cpu[d] = newBucket(c.CapacityOf(d)*cfg.TimeScale, start)
+		egress[d] = newBucket(c.Bandwidth*cfg.TimeScale, start)
+		ingress[d] = newBucket(c.Bandwidth*cfg.TimeScale, start)
+	}
+
+	// Per-operator pending input tuples (owned by the device goroutine,
+	// fed from channels).
+	pending := make([]float64, n)
+	// Residual output per edge awaiting channel space / bandwidth.
+	residual := make([]float64, g.NumEdges())
+	// Granted-but-unspent egress bits per edge: bandwidth accrues here
+	// until it covers a full batch, so bounded channels carry full batches
+	// instead of filling up with fragments.
+	bitCredit := make([]float64, g.NumEdges())
+	// Receive-side credits enforcing the ingress NIC budget the same way.
+	rcvCredit := make([]float64, g.NumEdges())
+
+	// Per-sink tuple counts: each element is owned by exactly one device
+	// goroutine, summed after Wait (no atomics needed on the hot path,
+	// and no fixed-point truncation of tiny per-call emissions).
+	sinkCount := make([]float64, n)
+	warmupDone := start.Add(time.Duration(float64(cfg.WallTime) * cfg.WarmupFrac))
+
+	isSource := make([]bool, n)
+	for _, s := range g.Sources() {
+		isSource[s] = true
+	}
+	devOps := make([][]int, c.Devices)
+	for v := 0; v < n; v++ {
+		devOps[p.Assign[v]] = append(devOps[p.Assign[v]], v)
+	}
+	// Source token buckets (arrival processes).
+	srcBucket := make([]*bucket, n)
+	for v := 0; v < n; v++ {
+		if isSource[v] {
+			srcBucket[v] = newBucket(g.SourceRate*cfg.TimeScale, start)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.WallTime)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for d := 0; d < c.Devices; d++ {
+		if len(devOps[d]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			ops := devOps[d]
+			pendingCap := 4 * cfg.BatchTuples
+			round := 0
+			for ctx.Err() == nil {
+				now := time.Now()
+				progress := false
+				// Rotate the scan order every round so no operator
+				// permanently starves its device-mates of CPU tokens.
+				round++
+				for oi := range ops {
+					v := ops[(oi+round)%len(ops)]
+					// Ingest: sources draw from their arrival bucket;
+					// other operators drain their input channels
+					// (consuming ingress bandwidth for cross-device edges).
+					if isSource[v] && pending[v] < pendingCap {
+						got := srcBucket[v].take(cfg.BatchTuples, now)
+						if got > 0 {
+							pending[v] += got
+							progress = true
+						}
+					}
+					for _, ei := range g.InEdges(v) {
+						e := g.Edges[ei]
+						cross := p.Assign[e.Src] != p.Assign[e.Dst]
+						// Bounded operator queue: draining stops when the
+						// queue is full, which fills the channel and, in
+						// turn, stalls the upstream emitter — backpressure.
+						for pending[v] < pendingCap {
+							if cross && e.Payload > 0 {
+								// Reserve ingress bandwidth for a full batch
+								// before receiving; leftover credit persists,
+								// so nothing is lost to over-reservation.
+								maxBits := cfg.BatchTuples * e.Payload
+								if rcvCredit[ei] < maxBits {
+									rcvCredit[ei] += ingress[d].take(maxBits-rcvCredit[ei], now)
+								}
+								if rcvCredit[ei] < maxBits {
+									break // ingress NIC saturated; retry later
+								}
+							}
+							received := false
+							select {
+							case bt := <-chans[ei]:
+								if cross {
+									rcvCredit[ei] -= bt.tuples * e.Payload
+								}
+								pending[v] += bt.tuples
+								progress = true
+								received = true
+							default:
+							}
+							if !received {
+								break
+							}
+						}
+					}
+
+					// Stall check: when any out-edge's undelivered residual
+					// exceeds a few batches, the operator stops processing —
+					// this is what chains backpressure from a saturated link
+					// all the way to the sources.
+					stalled := false
+					for _, ei := range g.OutEdges(v) {
+						if residual[ei] > 4*cfg.BatchTuples {
+							stalled = true
+							break
+						}
+					}
+
+					// Process: spend CPU tokens on pending tuples.
+					if pending[v] > 0 && !stalled {
+						want := pending[v]
+						if want > cfg.BatchTuples {
+							want = cfg.BatchTuples
+						}
+						var did float64
+						if g.Nodes[v].IPT <= 0 {
+							did = want
+						} else {
+							grant := cpu[d].take(want*g.Nodes[v].IPT, now)
+							did = grant / g.Nodes[v].IPT
+						}
+						if did > 0 {
+							// Emission must have room on every out-edge
+							// first (broadcast semantics): find the
+							// bottleneck across residuals + channel space.
+							out := did * g.Nodes[v].Selectivity
+							pending[v] -= did
+							progress = true
+							if len(g.OutEdges(v)) == 0 {
+								if now.After(warmupDone) {
+									// Count *emitted* tuples (selectivity
+									// applied) to match idealSinkRate below.
+									sinkCount[v] += out
+								}
+							} else {
+								for _, ei := range g.OutEdges(v) {
+									residual[ei] += out
+								}
+							}
+						}
+					}
+
+					// Flush residual output to channels, paying egress
+					// bandwidth for cross-device edges.
+					for _, ei := range g.OutEdges(v) {
+						if residual[ei] < cfg.BatchTuples && pending[v] > 0 {
+							continue // accumulate full batches while busy
+						}
+						for residual[ei] > 0 {
+							send := residual[ei]
+							if send > cfg.BatchTuples {
+								send = cfg.BatchTuples
+							}
+							e := g.Edges[ei]
+							cost := 0.0
+							if p.Assign[e.Src] != p.Assign[e.Dst] && e.Payload > 0 {
+								cost = send * e.Payload
+								if need := cost - bitCredit[ei]; need > 0 {
+									bitCredit[ei] += egress[d].take(need, now)
+								}
+								if bitCredit[ei] < cost {
+									break // bandwidth not yet accrued; retry later
+								}
+							}
+							sent := false
+							select {
+							case chans[ei] <- batch{tuples: send}:
+								residual[ei] -= send
+								bitCredit[ei] -= cost
+								progress = true
+								sent = true
+							default:
+								// Backpressure: downstream full; credit and
+								// residual persist for the next round.
+							}
+							if !sent || residual[ei] <= 0 {
+								break
+							}
+						}
+					}
+				}
+				if !progress {
+					// Idle: yield briefly instead of spinning.
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+		}(d)
+	}
+	wg.Wait()
+
+	window := float64(cfg.WallTime)*(1-cfg.WarmupFrac)/float64(time.Second) + 1e-12
+	simWindow := window * cfg.TimeScale
+
+	// Normalize: sum of ideal sink input rates.
+	ideal := g.SteadyRates()
+	var idealSinkRate float64
+	for _, v := range g.Sinks() {
+		if len(g.InEdges(v)) == 0 {
+			idealSinkRate += g.SourceRate * g.Nodes[v].Selectivity
+			continue
+		}
+		inRate := 0.0
+		for _, ei := range g.InEdges(v) {
+			inRate += ideal[g.Edges[ei].Src]
+		}
+		idealSinkRate += inRate * g.Nodes[v].Selectivity
+	}
+	var sinks float64
+	for _, c := range sinkCount {
+		sinks += c
+	}
+	rel := 0.0
+	if idealSinkRate > 0 {
+		rel = (sinks / simWindow) / idealSinkRate
+	}
+	if rel > 1 {
+		rel = 1
+	}
+	return Result{Relative: rel, SinkTuples: sinks, Elapsed: simWindow}, nil
+}

@@ -1,0 +1,112 @@
+// latency.go estimates end-to-end tuple latency for a placement — the
+// secondary metric stream systems care about (the paper's related work
+// cites latency-target schedulers [31], [32]). The estimate is the
+// longest source→sink path cost, where each operator contributes its
+// per-tuple service time inflated by its device's utilization (an M/M/1
+// style 1/(1−ρ) queueing factor) and each cross-device edge contributes
+// its per-tuple serialization time inflated by link utilization.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stream"
+)
+
+// LatencyResult reports the estimated steady-state latency.
+type LatencyResult struct {
+	// CriticalPathSeconds is the longest source→sink latency estimate.
+	CriticalPathSeconds float64
+	// CriticalPath is the node sequence realizing it.
+	CriticalPath []int
+	// NetworkHops is the number of cross-device edges on that path.
+	NetworkHops int
+}
+
+// EstimateLatency computes the critical-path latency of a placement at
+// the placement's sustained rate (bottlenecks first scale the flow via the
+// fluid solver, then per-stage queueing inflation is applied).
+func EstimateLatency(g *stream.Graph, p *stream.Placement, c Cluster) (LatencyResult, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return LatencyResult{}, fmt.Errorf("sim: latency needs an acyclic graph: %w", err)
+	}
+	res, err := Simulate(g, p, c)
+	if err != nil {
+		return LatencyResult{}, err
+	}
+
+	// Queueing inflation per device / NIC at the sustained utilization.
+	inflate := func(util float64) float64 {
+		if util >= 0.99 {
+			util = 0.99
+		}
+		return 1 / (1 - util)
+	}
+
+	// Per-node service time: IPT / device capacity, inflated.
+	nodeCost := make([]float64, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		d := p.Assign[v]
+		svc := g.Nodes[v].IPT / c.CapacityOf(d)
+		nodeCost[v] = svc * inflate(res.DeviceUtil[d])
+	}
+	// Per-edge cost: serialization time for cross-device edges, inflated
+	// by the busier endpoint NIC.
+	edgeCost := make([]float64, g.NumEdges())
+	for ei, e := range g.Edges {
+		if p.Assign[e.Src] == p.Assign[e.Dst] {
+			continue
+		}
+		ser := e.Payload / c.Bandwidth
+		u := math.Max(res.NetUtil[p.Assign[e.Src]], res.NetUtil[p.Assign[e.Dst]])
+		edgeCost[ei] = ser * inflate(u)
+	}
+
+	// Longest path by accumulated cost.
+	best := make([]float64, g.NumNodes())
+	prev := make([]int, g.NumNodes())
+	hops := make([]int, g.NumNodes())
+	for i := range prev {
+		prev[i] = -1
+		best[i] = math.Inf(-1)
+	}
+	for _, s := range g.Sources() {
+		best[s] = nodeCost[s]
+	}
+	for _, v := range order {
+		if math.IsInf(best[v], -1) {
+			continue
+		}
+		for _, ei := range g.OutEdges(v) {
+			e := g.Edges[ei]
+			cand := best[v] + edgeCost[ei] + nodeCost[e.Dst]
+			if cand > best[e.Dst] {
+				best[e.Dst] = cand
+				prev[e.Dst] = v
+				h := hops[v]
+				if edgeCost[ei] > 0 {
+					h++
+				}
+				hops[e.Dst] = h
+			}
+		}
+	}
+
+	out := LatencyResult{}
+	sink := -1
+	for _, v := range g.Sinks() {
+		if !math.IsInf(best[v], -1) && best[v] > out.CriticalPathSeconds {
+			out.CriticalPathSeconds = best[v]
+			sink = v
+		}
+	}
+	if sink >= 0 {
+		out.NetworkHops = hops[sink]
+		for v := sink; v != -1; v = prev[v] {
+			out.CriticalPath = append([]int{v}, out.CriticalPath...)
+		}
+	}
+	return out, nil
+}

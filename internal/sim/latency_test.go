@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestLatencyChainOnOneDevice(t *testing.T) {
+	// Three ops, IPT 1000 each, device 1e6 instr/s, negligible load →
+	// service time 1ms each, no inflation, no network hops.
+	g := pipelineGraph(3, 1, 1000, 1)
+	p := stream.NewPlacement(3, 2)
+	res, err := EstimateLatency(g, p, smallCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.CriticalPathSeconds-0.003) > 0.0005 {
+		t.Fatalf("latency %g, want ≈3ms", res.CriticalPathSeconds)
+	}
+	if res.NetworkHops != 0 {
+		t.Fatalf("hops = %d", res.NetworkHops)
+	}
+	if len(res.CriticalPath) != 3 {
+		t.Fatalf("path = %v", res.CriticalPath)
+	}
+}
+
+func TestLatencyCountsNetworkHops(t *testing.T) {
+	g := pipelineGraph(3, 1, 10, 1000)
+	p := stream.NewPlacement(3, 2)
+	p.Assign = []int{0, 1, 0}
+	res, err := EstimateLatency(g, p, smallCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NetworkHops != 2 {
+		t.Fatalf("hops = %d", res.NetworkHops)
+	}
+	// Serialization: 2 × (1000 bits / 1e6 bps) = 2 ms plus tiny service.
+	if res.CriticalPathSeconds < 0.002 {
+		t.Fatalf("latency %g too small for 2 hops", res.CriticalPathSeconds)
+	}
+}
+
+func TestLatencyUtilizationInflation(t *testing.T) {
+	// A nearly saturated device inflates latency well beyond raw service.
+	g := pipelineGraph(2, 450, 1000, 1) // util = 0.9 on one device
+	p := stream.NewPlacement(2, 2)
+	res, err := EstimateLatency(g, p, smallCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := 0.002 // 2 × 1ms service
+	if res.CriticalPathSeconds < 3*raw {
+		t.Fatalf("latency %g not inflated at 90%% utilization", res.CriticalPathSeconds)
+	}
+}
+
+func TestLatencyPicksLongestBranch(t *testing.T) {
+	// Diamond with one slow branch: critical path must go through it.
+	g := stream.NewGraph(1)
+	g.AddNode(stream.Node{IPT: 10, Payload: 1})
+	g.AddNode(stream.Node{IPT: 10, Payload: 1})     // fast branch
+	g.AddNode(stream.Node{IPT: 100000, Payload: 1}) // slow branch
+	g.AddNode(stream.Node{IPT: 10, Payload: 1})
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(0, 2, 0)
+	g.AddEdge(1, 3, 0)
+	g.AddEdge(2, 3, 0)
+	p := stream.NewPlacement(4, 2)
+	res, err := EstimateLatency(g, p, smallCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range res.CriticalPath {
+		if v == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("critical path %v skips the slow branch", res.CriticalPath)
+	}
+}
+
+func TestLatencyRejectsCycle(t *testing.T) {
+	g := pipelineGraph(2, 1, 1, 1)
+	g.AddEdge(1, 0, 1)
+	if _, err := EstimateLatency(g, stream.NewPlacement(2, 2), smallCluster()); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}

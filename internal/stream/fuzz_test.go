@@ -1,0 +1,46 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSON exercises the JSON decoder against arbitrary input: it must
+// never panic, and anything it accepts must round-trip losslessly.
+func FuzzReadJSON(f *testing.F) {
+	var seed bytes.Buffer
+	g := NewGraph(1000)
+	g.AddNode(Node{IPT: 10, Payload: 20, Selectivity: 1})
+	g.AddNode(Node{IPT: 30, Payload: 40, Selectivity: 0.5})
+	g.AddEdge(0, 1, 25)
+	if err := WriteJSON(&seed, []*Graph{g}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"source_rate":1,"nodes":[],"edges":[]}]`))
+	f.Add([]byte(`{`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		graphs, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, graphs); err != nil {
+			t.Fatalf("accepted graphs failed to re-encode: %v", err)
+		}
+		back, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(back) != len(graphs) {
+			t.Fatalf("round trip lost graphs: %d -> %d", len(graphs), len(back))
+		}
+		for i := range graphs {
+			if graphs[i].NumNodes() != back[i].NumNodes() || graphs[i].NumEdges() != back[i].NumEdges() {
+				t.Fatal("round trip changed structure")
+			}
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// graphJSON is the on-disk representation of a Graph.
+type graphJSON struct {
+	SourceRate float64    `json:"source_rate"`
+	Nodes      []nodeJSON `json:"nodes"`
+	Edges      []edgeJSON `json:"edges"`
+}
+
+type nodeJSON struct {
+	IPT         float64 `json:"ipt"`
+	Payload     float64 `json:"payload"`
+	Selectivity float64 `json:"selectivity"`
+	Name        string  `json:"name,omitempty"`
+}
+
+type edgeJSON struct {
+	Src     int     `json:"src"`
+	Dst     int     `json:"dst"`
+	Payload float64 `json:"payload"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	out := graphJSON{SourceRate: g.SourceRate}
+	for _, n := range g.Nodes {
+		out.Nodes = append(out.Nodes, nodeJSON(n))
+	}
+	for _, e := range g.Edges {
+		out.Edges = append(out.Edges, edgeJSON(e))
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var in graphJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*g = Graph{SourceRate: in.SourceRate}
+	for _, n := range in.Nodes {
+		g.Nodes = append(g.Nodes, Node(n))
+	}
+	for i, e := range in.Edges {
+		if e.Src < 0 || e.Src >= len(g.Nodes) || e.Dst < 0 || e.Dst >= len(g.Nodes) {
+			return fmt.Errorf("stream: edge %d endpoints out of range", i)
+		}
+		g.Edges = append(g.Edges, Edge(e))
+	}
+	return nil
+}
+
+// WriteJSON streams a set of graphs as a JSON array.
+func WriteJSON(w io.Writer, graphs []*Graph) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(graphs)
+}
+
+// ReadJSON reads a JSON array of graphs and validates each.
+func ReadJSON(r io.Reader) ([]*Graph, error) {
+	var graphs []*Graph
+	if err := json.NewDecoder(r).Decode(&graphs); err != nil {
+		return nil, fmt.Errorf("stream: decode graphs: %w", err)
+	}
+	for i, g := range graphs {
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("stream: graph %d: %w", i, err)
+		}
+	}
+	return graphs, nil
+}

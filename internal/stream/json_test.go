@@ -1,0 +1,76 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func jsonTestGraph() *Graph {
+	g := NewGraph(5000)
+	g.AddNode(Node{IPT: 100, Payload: 50, Selectivity: 1, Name: "src"})
+	g.AddNode(Node{IPT: 200, Payload: 25, Selectivity: 0.5})
+	g.AddEdge(0, 1, 75)
+	return g
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := jsonTestGraph()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []*Graph{g}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("got %d graphs", len(back))
+	}
+	r := back[0]
+	if r.SourceRate != 5000 || r.NumNodes() != 2 || r.NumEdges() != 1 {
+		t.Fatal("structure mismatch")
+	}
+	if r.Nodes[0].Name != "src" || r.Nodes[1].Selectivity != 0.5 {
+		t.Fatal("node fields mismatch")
+	}
+	if r.Edges[0].Payload != 75 {
+		t.Fatal("edge payload mismatch")
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	// Out-of-range edge endpoint.
+	bad := `[{"source_rate":100,"nodes":[{"ipt":1,"payload":1,"selectivity":1}],"edges":[{"src":0,"dst":5,"payload":1}]}]`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	// Cyclic graph fails validation.
+	cyc := `[{"source_rate":100,"nodes":[{"ipt":1,"payload":1,"selectivity":1},{"ipt":1,"payload":1,"selectivity":1}],` +
+		`"edges":[{"src":0,"dst":1,"payload":1},{"src":1,"dst":0,"payload":1}]}]`
+	if _, err := ReadJSON(strings.NewReader(cyc)); err == nil {
+		t.Fatal("cyclic graph accepted")
+	}
+	// Garbage.
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestJSONPreservesSimulationSemantics(t *testing.T) {
+	g := jsonTestGraph()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []*Graph{g}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, l2 := g.NodeLoad(), back[0].NodeLoad()
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatal("loads changed across serialization")
+		}
+	}
+}

@@ -1,0 +1,617 @@
+// Package stream defines the stream-processing graph model from the paper:
+// a DAG whose nodes are operators characterized by CPU utilization
+// (instructions per tuple × tuple rate / MIPS) and emitted payload, and
+// whose directed edges carry tuples with a per-tuple payload, characterized
+// by their data saturation rate (payload × rate / bandwidth).
+//
+// The package also provides placements (operator→device assignments),
+// coarsening maps (operator→super-node assignments produced by edge
+// collapsing), and the bookkeeping to build a coarsened graph and map a
+// coarse placement back to the original operators.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Node is one stream operator.
+type Node struct {
+	// IPT is the number of instructions required to process one tuple.
+	IPT float64
+	// Payload is the size in bits of each output tuple the operator emits.
+	Payload float64
+	// Selectivity is output tuples emitted per input tuple (1 by default).
+	Selectivity float64
+	// Name is an optional human-readable label (used by examples/DOT).
+	Name string
+}
+
+// Edge is a directed operator connection u→v carrying u's output tuples.
+type Edge struct {
+	Src, Dst int
+	// Payload is the size in bits of each tuple transmitted on this edge.
+	// It normally equals the source node's Payload but is kept separately
+	// because coarsening aggregates edge payloads between super-nodes.
+	Payload float64
+}
+
+// Graph is a stream-processing DAG.
+type Graph struct {
+	Nodes []Node
+	Edges []Edge
+	// SourceRate is the tuple ingestion rate (tuples/second) at each source.
+	SourceRate float64
+
+	// adjacency caches, built lazily by ensureAdj.
+	out, in [][]int // node → edge indices
+
+	// loadOverride / trafficOverride, when non-nil, short-circuit
+	// NodeLoad / EdgeTraffic. Coarse graphs set them because collapsing a
+	// DAG's edges can create cycles in the super-graph, making rate
+	// propagation undefined there; the aggregate demands are exact anyway.
+	loadOverride    []float64
+	trafficOverride []float64
+}
+
+// SetDemandOverrides fixes NodeLoad and EdgeTraffic to explicit values
+// (instructions/s per node, bits/s per edge). Used by CoarseGraph.
+func (g *Graph) SetDemandOverrides(load, traffic []float64) {
+	if len(load) != len(g.Nodes) || len(traffic) != len(g.Edges) {
+		panic("stream: override length mismatch")
+	}
+	g.loadOverride = load
+	g.trafficOverride = traffic
+}
+
+// NewGraph returns an empty graph with the given source tuple rate.
+func NewGraph(sourceRate float64) *Graph {
+	return &Graph{SourceRate: sourceRate}
+}
+
+// AddNode appends a node and returns its index.
+func (g *Graph) AddNode(n Node) int {
+	if n.Selectivity == 0 {
+		n.Selectivity = 1
+	}
+	g.Nodes = append(g.Nodes, n)
+	g.invalidate()
+	return len(g.Nodes) - 1
+}
+
+// AddEdge appends a directed edge and returns its index. The payload
+// defaults to the source node's payload when zero.
+func (g *Graph) AddEdge(src, dst int, payload float64) int {
+	if src < 0 || src >= len(g.Nodes) || dst < 0 || dst >= len(g.Nodes) {
+		panic(fmt.Sprintf("stream: edge (%d,%d) out of range, %d nodes", src, dst, len(g.Nodes)))
+	}
+	if payload == 0 {
+		payload = g.Nodes[src].Payload
+	}
+	g.Edges = append(g.Edges, Edge{Src: src, Dst: dst, Payload: payload})
+	g.invalidate()
+	return len(g.Edges) - 1
+}
+
+func (g *Graph) invalidate() { g.out, g.in = nil, nil }
+
+func (g *Graph) ensureAdj() {
+	if g.out != nil {
+		return
+	}
+	g.out = make([][]int, len(g.Nodes))
+	g.in = make([][]int, len(g.Nodes))
+	for ei, e := range g.Edges {
+		g.out[e.Src] = append(g.out[e.Src], ei)
+		g.in[e.Dst] = append(g.in[e.Dst], ei)
+	}
+}
+
+// OutEdges returns the indices of edges leaving node v.
+func (g *Graph) OutEdges(v int) []int { g.ensureAdj(); return g.out[v] }
+
+// InEdges returns the indices of edges entering node v.
+func (g *Graph) InEdges(v int) []int { g.ensureAdj(); return g.in[v] }
+
+// Sources returns nodes with no incoming edges.
+func (g *Graph) Sources() []int {
+	g.ensureAdj()
+	var s []int
+	for v := range g.Nodes {
+		if len(g.in[v]) == 0 {
+			s = append(s, v)
+		}
+	}
+	return s
+}
+
+// Sinks returns nodes with no outgoing edges.
+func (g *Graph) Sinks() []int {
+	g.ensureAdj()
+	var s []int
+	for v := range g.Nodes {
+		if len(g.out[v]) == 0 {
+			s = append(s, v)
+		}
+	}
+	return s
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// TopoOrder returns a topological ordering of the nodes, or an error if
+// the graph has a cycle.
+func (g *Graph) TopoOrder() ([]int, error) {
+	g.ensureAdj()
+	n := len(g.Nodes)
+	indeg := make([]int, n)
+	for _, e := range g.Edges {
+		indeg[e.Dst]++
+	}
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, ei := range g.out[v] {
+			d := g.Edges[ei].Dst
+			indeg[d]--
+			if indeg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("stream: graph has a cycle (%d of %d nodes ordered)", len(order), n)
+	}
+	return order, nil
+}
+
+// PseudoTopoOrder returns a topological ordering when the graph is
+// acyclic; on cyclic graphs (possible for coarse graphs) it falls back to
+// breaking the smallest-remaining-indegree node out of each cycle, always
+// returning a complete ordering. Used by sequential placers that must
+// handle coarse graphs.
+func (g *Graph) PseudoTopoOrder() []int {
+	g.ensureAdj()
+	n := len(g.Nodes)
+	indeg := make([]int, n)
+	for _, e := range g.Edges {
+		indeg[e.Dst]++
+	}
+	done := make([]bool, n)
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(order) < n {
+		if len(queue) == 0 {
+			// Cycle: release the unfinished node with minimal indegree.
+			best, bestDeg := -1, 1<<30
+			for v := 0; v < n; v++ {
+				if !done[v] && indeg[v] < bestDeg {
+					best, bestDeg = v, indeg[v]
+				}
+			}
+			queue = append(queue, best)
+			indeg[best] = 0
+		}
+		v := queue[0]
+		queue = queue[1:]
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		order = append(order, v)
+		for _, ei := range g.out[v] {
+			d := g.Edges[ei].Dst
+			if done[d] {
+				continue
+			}
+			indeg[d]--
+			if indeg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	return order
+}
+
+// Validate checks structural invariants: acyclicity, in-range edges,
+// positive rates/features, and (weak) connectivity.
+func (g *Graph) Validate() error {
+	if len(g.Nodes) == 0 {
+		return fmt.Errorf("stream: empty graph")
+	}
+	if g.SourceRate <= 0 {
+		return fmt.Errorf("stream: non-positive source rate %g", g.SourceRate)
+	}
+	for i, n := range g.Nodes {
+		if n.IPT < 0 || n.Payload < 0 || n.Selectivity <= 0 {
+			return fmt.Errorf("stream: node %d has invalid features IPT=%g payload=%g sel=%g",
+				i, n.IPT, n.Payload, n.Selectivity)
+		}
+	}
+	for i, e := range g.Edges {
+		if e.Src < 0 || e.Src >= len(g.Nodes) || e.Dst < 0 || e.Dst >= len(g.Nodes) {
+			return fmt.Errorf("stream: edge %d endpoints (%d,%d) out of range", i, e.Src, e.Dst)
+		}
+		if e.Src == e.Dst {
+			return fmt.Errorf("stream: edge %d is a self-loop at %d", i, e.Src)
+		}
+		if e.Payload < 0 {
+			return fmt.Errorf("stream: edge %d has negative payload", i)
+		}
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	if len(g.Nodes) > 1 && !g.weaklyConnected() {
+		return fmt.Errorf("stream: graph is not weakly connected")
+	}
+	return nil
+}
+
+func (g *Graph) weaklyConnected() bool {
+	n := len(g.Nodes)
+	adj := make([][]int, n)
+	for _, e := range g.Edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+		adj[e.Dst] = append(adj[e.Dst], e.Src)
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == n
+}
+
+// SteadyRates returns each node's steady-state output tuple rate assuming
+// no resource bottlenecks: sources emit SourceRate × selectivity, and each
+// operator's input rate is the sum of its upstream output rates.
+func (g *Graph) SteadyRates() []float64 {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic("stream: SteadyRates on cyclic graph: " + err.Error())
+	}
+	g.ensureAdj()
+	in := make([]float64, len(g.Nodes))
+	out := make([]float64, len(g.Nodes))
+	for _, v := range order {
+		rate := in[v]
+		if len(g.in[v]) == 0 {
+			rate = g.SourceRate
+		}
+		out[v] = rate * g.Nodes[v].Selectivity
+		for _, ei := range g.out[v] {
+			in[g.Edges[ei].Dst] += out[v]
+		}
+	}
+	return out
+}
+
+// NodeLoad returns each node's CPU demand in instructions/second at the
+// unconstrained steady state: IPT × input rate (or the explicit override
+// for coarse graphs).
+func (g *Graph) NodeLoad() []float64 {
+	if g.loadOverride != nil {
+		return g.loadOverride
+	}
+	rates := g.SteadyRates()
+	g.ensureAdj()
+	load := make([]float64, len(g.Nodes))
+	for v := range g.Nodes {
+		inRate := 0.0
+		if len(g.in[v]) == 0 {
+			inRate = g.SourceRate
+		} else {
+			for _, ei := range g.in[v] {
+				inRate += rates[g.Edges[ei].Src]
+			}
+		}
+		load[v] = g.Nodes[v].IPT * inRate
+	}
+	return load
+}
+
+// EdgeTraffic returns each edge's data rate in bits/second at the
+// unconstrained steady state: payload × source-node output rate (or the
+// explicit override for coarse graphs).
+func (g *Graph) EdgeTraffic() []float64 {
+	if g.trafficOverride != nil {
+		return g.trafficOverride
+	}
+	rates := g.SteadyRates()
+	tr := make([]float64, len(g.Edges))
+	for ei, e := range g.Edges {
+		tr[ei] = e.Payload * rates[e.Src]
+	}
+	return tr
+}
+
+// TotalLoad returns the summed CPU demand in instructions/second.
+func (g *Graph) TotalLoad() float64 {
+	var s float64
+	for _, l := range g.NodeLoad() {
+		s += l
+	}
+	return s
+}
+
+// Placement maps each operator index to a device id in [0, Devices).
+type Placement struct {
+	Assign  []int
+	Devices int
+}
+
+// NewPlacement returns an all-zeros placement for n operators.
+func NewPlacement(n, devices int) *Placement {
+	return &Placement{Assign: make([]int, n), Devices: devices}
+}
+
+// Validate checks the placement covers the graph and stays in range.
+func (p *Placement) Validate(g *Graph) error {
+	if len(p.Assign) != len(g.Nodes) {
+		return fmt.Errorf("stream: placement covers %d nodes, graph has %d", len(p.Assign), len(g.Nodes))
+	}
+	if p.Devices <= 0 {
+		return fmt.Errorf("stream: placement has %d devices", p.Devices)
+	}
+	for v, d := range p.Assign {
+		if d < 0 || d >= p.Devices {
+			return fmt.Errorf("stream: node %d assigned to device %d of %d", v, d, p.Devices)
+		}
+	}
+	return nil
+}
+
+// UsedDevices returns the number of distinct devices with ≥1 operator.
+func (p *Placement) UsedDevices() int {
+	seen := make(map[int]bool, p.Devices)
+	for _, d := range p.Assign {
+		seen[d] = true
+	}
+	return len(seen)
+}
+
+// Clone deep-copies the placement.
+func (p *Placement) Clone() *Placement {
+	a := make([]int, len(p.Assign))
+	copy(a, p.Assign)
+	return &Placement{Assign: a, Devices: p.Devices}
+}
+
+// CoarseMap maps original node → super-node, as produced by collapsing a
+// set of edges (connected components of the collapsed-edge subgraph).
+type CoarseMap struct {
+	// Super[v] is the super-node index of original node v.
+	Super []int
+	// NumSuper is the number of super-nodes.
+	NumSuper int
+}
+
+// CollapseEdges builds the coarse map induced by merging the endpoints of
+// every edge whose index appears with decision true. Super-node ids are
+// compacted and ordered by the smallest original node they contain.
+func CollapseEdges(g *Graph, collapse []bool) *CoarseMap {
+	if len(collapse) != len(g.Edges) {
+		panic(fmt.Sprintf("stream: %d collapse decisions for %d edges", len(collapse), len(g.Edges)))
+	}
+	uf := newUnionFind(len(g.Nodes))
+	for ei, c := range collapse {
+		if c {
+			uf.union(g.Edges[ei].Src, g.Edges[ei].Dst)
+		}
+	}
+	return coarseFromUF(g, uf)
+}
+
+func coarseFromUF(g *Graph, uf *unionFind) *CoarseMap {
+	n := len(g.Nodes)
+	super := make([]int, n)
+	next := 0
+	rootID := make(map[int]int, n)
+	for v := 0; v < n; v++ {
+		r := uf.find(v)
+		id, ok := rootID[r]
+		if !ok {
+			id = next
+			next++
+			rootID[r] = id
+		}
+		super[v] = id
+	}
+	return &CoarseMap{Super: super, NumSuper: next}
+}
+
+// Members returns, for each super-node, the sorted original node indices.
+func (cm *CoarseMap) Members() [][]int {
+	m := make([][]int, cm.NumSuper)
+	for v, s := range cm.Super {
+		m[s] = append(m[s], v)
+	}
+	for _, grp := range m {
+		sort.Ints(grp)
+	}
+	return m
+}
+
+// CompressionRatio returns |V| / |V_coarse|.
+func (cm *CoarseMap) CompressionRatio() float64 {
+	if cm.NumSuper == 0 {
+		return math.NaN()
+	}
+	return float64(len(cm.Super)) / float64(cm.NumSuper)
+}
+
+// CoarseGraph builds the coarsened graph: super-node IPT-load aggregates
+// member demand (represented by summing IPT weighted by relative input
+// rates — see below), payloads of parallel super-edges are summed, and
+// intra-super edges disappear.
+//
+// Because a super-node is simulated as one operator, we aggregate member
+// CPU demand exactly: the coarse node's IPT is chosen such that
+// IPT_super × sourceRate = Σ member loads / fan-in-normalization; we encode
+// the exact aggregate demand by giving the super node IPT = total member
+// demand / SourceRate and selectivity 1, and super edges carry the exact
+// steady-state traffic as payload at rate SourceRate. This preserves both
+// total CPU demand per super-node and total traffic per super-edge, which
+// is what the partitioner and simulator consume.
+func CoarseGraph(g *Graph, cm *CoarseMap) *Graph {
+	load := g.NodeLoad()
+	traffic := g.EdgeTraffic()
+	cg := NewGraph(g.SourceRate)
+	superLoad := make([]float64, cm.NumSuper)
+	for v, s := range cm.Super {
+		superLoad[s] += load[v]
+		_ = v
+	}
+	for s := 0; s < cm.NumSuper; s++ {
+		cg.AddNode(Node{
+			IPT:         superLoad[s] / g.SourceRate,
+			Payload:     0, // set via explicit edge payloads below
+			Selectivity: 1,
+			Name:        fmt.Sprintf("s%d", s),
+		})
+	}
+	// Aggregate inter-super traffic; key = src*NumSuper+dst.
+	agg := make(map[int]float64)
+	for ei, e := range g.Edges {
+		su, sv := cm.Super[e.Src], cm.Super[e.Dst]
+		if su == sv {
+			continue
+		}
+		agg[su*cm.NumSuper+sv] += traffic[ei]
+	}
+	keys := make([]int, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	superTraffic := make([]float64, 0, len(keys))
+	for _, k := range keys {
+		su, sv := k/cm.NumSuper, k%cm.NumSuper
+		// Super edges carry the aggregate traffic: payload × SourceRate =
+		// aggregate bits/s, with the super graph treated as rate-SourceRate.
+		cg.AddEdge(su, sv, agg[k]/g.SourceRate)
+		superTraffic = append(superTraffic, agg[k])
+	}
+	// Collapsing DAG edges can create cycles among super-nodes, so demands
+	// are pinned to their exact aggregates rather than re-propagated.
+	cg.SetDemandOverrides(superLoad, superTraffic)
+	return cg
+}
+
+// ExpandPlacement maps a placement of the coarse graph back onto the
+// original graph: every member of super-node s gets s's device.
+func ExpandPlacement(cm *CoarseMap, coarse *Placement) *Placement {
+	if len(coarse.Assign) != cm.NumSuper {
+		panic(fmt.Sprintf("stream: coarse placement covers %d supernodes, map has %d",
+			len(coarse.Assign), cm.NumSuper))
+	}
+	p := NewPlacement(len(cm.Super), coarse.Devices)
+	for v, s := range cm.Super {
+		p.Assign[v] = coarse.Assign[s]
+	}
+	return p
+}
+
+// unionFind is a standard weighted quick-union with path halving.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+}
+
+// DOT renders the graph in Graphviz format; placement may be nil. Used by
+// the Fig. 3 qualitative example.
+func (g *Graph) DOT(p *Placement) string {
+	var b strings.Builder
+	b.WriteString("digraph stream {\n  rankdir=LR;\n")
+	load := g.NodeLoad()
+	for v, n := range g.Nodes {
+		label := n.Name
+		if label == "" {
+			label = fmt.Sprintf("v%d", v)
+		}
+		color := ""
+		if p != nil {
+			color = fmt.Sprintf(", style=filled, fillcolor=\"/set312/%d\"", p.Assign[v]%12+1)
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\\n%.0f MI/s\"%s];\n", v, label, load[v]/1e6, color)
+	}
+	traffic := g.EdgeTraffic()
+	for ei, e := range g.Edges {
+		w := 1 + 4*math.Log1p(traffic[ei]/1e6)
+		fmt.Fprintf(&b, "  n%d -> n%d [penwidth=%.1f];\n", e.Src, e.Dst, w)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Clone deep-copies the graph.
+func (g *Graph) Clone() *Graph {
+	cg := NewGraph(g.SourceRate)
+	cg.Nodes = append([]Node(nil), g.Nodes...)
+	cg.Edges = append([]Edge(nil), g.Edges...)
+	if g.loadOverride != nil {
+		cg.loadOverride = append([]float64(nil), g.loadOverride...)
+		cg.trafficOverride = append([]float64(nil), g.trafficOverride...)
+	}
+	return cg
+}

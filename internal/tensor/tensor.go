@@ -1,0 +1,483 @@
+// Package tensor implements dense float64 matrices with the handful of
+// kernels the neural substrate needs: matrix multiply (goroutine
+// row-blocked for large shapes), transpose-multiplies, element-wise maps,
+// row gather/scatter, and segment reductions.
+//
+// Matrices are row-major over a flat slice; Matrix values are cheap to pass
+// by pointer and are never shared mutably between goroutines by the callers
+// in this repository.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/parallel"
+)
+
+// Matrix is a dense row-major rows×cols matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (length rows*cols) without copying.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromRows builds a matrix by copying a slice of equal-length rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic("tensor: ragged rows")
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Zero clears all elements in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// SameShape reports whether m and o have identical dimensions.
+func (m *Matrix) SameShape(o *Matrix) bool { return m.Rows == o.Rows && m.Cols == o.Cols }
+
+// parallelThreshold is the flop count above which kernels fan out.
+const parallelThreshold = 1 << 16
+
+// MatMul returns m·o. Panics on shape mismatch.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	work := a.Rows * a.Cols * b.Cols
+	rowRange := func(lo, hi int) {
+		// ikj loop order: streams through b rows, vectorization friendly.
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+			orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+	if work < parallelThreshold {
+		rowRange(0, a.Rows)
+		return out
+	}
+	chunks := parallel.ChunkRanges(a.Rows, parallel.DefaultWorkers())
+	parallel.ForEach(len(chunks), 0, func(c int) {
+		rowRange(chunks[c][0], chunks[c][1])
+	})
+	return out
+}
+
+// MatMulT1 returns aᵀ·b, i.e. (a.Cols × b.Cols). Used for weight gradients.
+func MatMulT1(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulT1 shape mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		brow := b.Data[i*b.Cols : (i+1)*b.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT2 returns a·bᵀ, i.e. (a.Rows × b.Rows). Used for input gradients.
+func MatMulT2(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulT2 shape mismatch %dx%d · %dx%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	work := a.Rows * a.Cols * b.Rows
+	rowRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+			orow := out.Data[i*b.Rows : (i+1)*b.Rows]
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+				var s float64
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				orow[j] = s
+			}
+		}
+	}
+	if work < parallelThreshold {
+		rowRange(0, a.Rows)
+		return out
+	}
+	chunks := parallel.ChunkRanges(a.Rows, parallel.DefaultWorkers())
+	parallel.ForEach(len(chunks), 0, func(c int) {
+		rowRange(chunks[c][0], chunks[c][1])
+	})
+	return out
+}
+
+// Transpose returns mᵀ as a new matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// Add returns a+b element-wise.
+func Add(a, b *Matrix) *Matrix {
+	mustSameShape("add", a, b)
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v + b.Data[i]
+	}
+	return out
+}
+
+// AddInPlace accumulates b into a.
+func AddInPlace(a, b *Matrix) {
+	mustSameShape("add-in-place", a, b)
+	for i, v := range b.Data {
+		a.Data[i] += v
+	}
+}
+
+// Sub returns a-b element-wise.
+func Sub(a, b *Matrix) *Matrix {
+	mustSameShape("sub", a, b)
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v - b.Data[i]
+	}
+	return out
+}
+
+// Mul returns the Hadamard product a⊙b.
+func Mul(a, b *Matrix) *Matrix {
+	mustSameShape("mul", a, b)
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v * b.Data[i]
+	}
+	return out
+}
+
+// Scale returns a·s element-wise.
+func Scale(a *Matrix, s float64) *Matrix {
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v * s
+	}
+	return out
+}
+
+// AddRowVector returns a with the 1×cols vector v added to every row.
+func AddRowVector(a, v *Matrix) *Matrix {
+	if v.Rows != 1 || v.Cols != a.Cols {
+		panic(fmt.Sprintf("tensor: add-row-vector shape mismatch %dx%d + %dx%d", a.Rows, a.Cols, v.Rows, v.Cols))
+	}
+	out := New(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j, av := range arow {
+			orow[j] = av + v.Data[j]
+		}
+	}
+	return out
+}
+
+// Apply returns f mapped over every element.
+func Apply(a *Matrix, f func(float64) float64) *Matrix {
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// Tanh returns element-wise tanh.
+func Tanh(a *Matrix) *Matrix { return Apply(a, math.Tanh) }
+
+// Sigmoid returns element-wise logistic sigmoid.
+func Sigmoid(a *Matrix) *Matrix {
+	return Apply(a, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
+}
+
+// ReLU returns element-wise max(0, x).
+func ReLU(a *Matrix) *Matrix {
+	return Apply(a, func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+}
+
+// GatherRows returns the matrix whose i-th row is a.Row(idx[i]).
+func GatherRows(a *Matrix, idx []int) *Matrix {
+	out := New(len(idx), a.Cols)
+	for i, r := range idx {
+		if r < 0 || r >= a.Rows {
+			panic(fmt.Sprintf("tensor: gather row %d out of range [0,%d)", r, a.Rows))
+		}
+		copy(out.Row(i), a.Row(r))
+	}
+	return out
+}
+
+// ScatterAddRows adds each row i of src into dst.Row(idx[i]).
+func ScatterAddRows(dst, src *Matrix, idx []int) {
+	if src.Rows != len(idx) || src.Cols != dst.Cols {
+		panic("tensor: scatter-add shape mismatch")
+	}
+	for i, r := range idx {
+		drow := dst.Row(r)
+		srow := src.Row(i)
+		for j, v := range srow {
+			drow[j] += v
+		}
+	}
+}
+
+// SegmentMean averages the rows of a whose segment id equals s, for each
+// s in [0, segments); segments with no members yield zero rows.
+func SegmentMean(a *Matrix, seg []int, segments int) *Matrix {
+	if len(seg) != a.Rows {
+		panic("tensor: segment-mean index length mismatch")
+	}
+	out := New(segments, a.Cols)
+	counts := make([]float64, segments)
+	for i, s := range seg {
+		if s < 0 || s >= segments {
+			panic(fmt.Sprintf("tensor: segment id %d out of range [0,%d)", s, segments))
+		}
+		counts[s]++
+		orow := out.Row(s)
+		arow := a.Row(i)
+		for j, v := range arow {
+			orow[j] += v
+		}
+	}
+	for s := 0; s < segments; s++ {
+		if counts[s] == 0 {
+			continue
+		}
+		inv := 1 / counts[s]
+		orow := out.Row(s)
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+	return out
+}
+
+// ConcatCols horizontally concatenates matrices with equal row counts.
+func ConcatCols(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	rows := ms[0].Rows
+	cols := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic("tensor: concat-cols row mismatch")
+		}
+		cols += m.Cols
+	}
+	out := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		orow := out.Row(i)
+		off := 0
+		for _, m := range ms {
+			copy(orow[off:off+m.Cols], m.Row(i))
+			off += m.Cols
+		}
+	}
+	return out
+}
+
+// SliceCols returns columns [lo, hi) as a new matrix.
+func SliceCols(a *Matrix, lo, hi int) *Matrix {
+	if lo < 0 || hi > a.Cols || lo > hi {
+		panic(fmt.Sprintf("tensor: slice-cols [%d,%d) of %d", lo, hi, a.Cols))
+	}
+	out := New(a.Rows, hi-lo)
+	for i := 0; i < a.Rows; i++ {
+		copy(out.Row(i), a.Row(i)[lo:hi])
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value (0 for empty matrices).
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Norm2 returns the Frobenius norm.
+func (m *Matrix) Norm2() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// RandUniform fills m with uniform values in [-scale, scale).
+func (m *Matrix) RandUniform(rng *rand.Rand, scale float64) {
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+}
+
+// XavierInit fills m with the Glorot-uniform initialization for a layer
+// with fanIn inputs and fanOut outputs.
+func (m *Matrix) XavierInit(rng *rand.Rand, fanIn, fanOut int) {
+	scale := math.Sqrt(6 / float64(fanIn+fanOut))
+	m.RandUniform(rng, scale)
+}
+
+// SoftmaxRows applies a numerically stable softmax to each row.
+func SoftmaxRows(a *Matrix) *Matrix {
+	out := New(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		mx := math.Inf(-1)
+		for _, v := range arow {
+			if v > mx {
+				mx = v
+			}
+		}
+		var z float64
+		for j, v := range arow {
+			e := math.Exp(v - mx)
+			orow[j] = e
+			z += e
+		}
+		inv := 1 / z
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+	return out
+}
+
+// Equal reports element-wise equality within tolerance eps.
+func Equal(a, b *Matrix, eps float64) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i, v := range a.Data {
+		if math.Abs(v-b.Data[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+func mustSameShape(op string, a, b *Matrix) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+	}
+	s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}
