@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test check race vet bench
+
+build:
+	$(GO) build ./...
+
+# Tier-1 gate: the repo must always pass this.
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full pre-merge check: vet + race-detected tests.
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

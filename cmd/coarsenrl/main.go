@@ -9,12 +9,24 @@
 //	coarsenrl -mode finetune -setting large-10k-10dev -load model.json \
 //	          -save model-large.json [-epochs 4]
 //	coarsenrl -mode curriculum -save model.json [-scale 0.5]
+//
+// Fault tolerance: training modes trap SIGINT/SIGTERM and checkpoint full
+// training state (weights, optimizer moments, memory buffer, RNG,
+// curriculum position) before exiting, so an interrupted run resumes
+// exactly where it stopped:
+//
+//	coarsenrl -mode curriculum -checkpoint run.ckpt -autosave-every 25
+//	^C  ->  "training interrupted (state saved to run.ckpt)"
+//	coarsenrl -mode curriculum -checkpoint run.ckpt -resume
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -28,7 +40,7 @@ import (
 
 func main() {
 	var (
-		mode        = flag.String("mode", "train", "train | finetune | eval")
+		mode        = flag.String("mode", "train", "train | finetune | eval | curriculum")
 		settingName = flag.String("setting", "medium-10k-10dev", "dataset preset")
 		scale       = flag.Float64("scale", 1.0, "dataset size multiplier")
 		loadPath    = flag.String("load", "", "load model parameters from JSON")
@@ -39,6 +51,10 @@ func main() {
 		hidden      = flag.Int("hidden", 24, "GNN half-embedding width")
 		seed        = flag.Int64("seed", 1, "random seed")
 		quiet       = flag.Bool("quiet", false, "suppress progress logs")
+		ckptPath    = flag.String("checkpoint", "", "full training-state checkpoint file (written on interrupt and every -autosave-every steps)")
+		resume      = flag.Bool("resume", false, "restore training state from -checkpoint before training")
+		autosave    = flag.Int("autosave-every", 50, "autosave the checkpoint every N training steps (0 disables)")
+		deadline    = flag.Duration("deadline", 0, "stop training (checkpointing first) after this duration, e.g. 30m (0 = none)")
 	)
 	flag.Parse()
 
@@ -60,6 +76,35 @@ func main() {
 	}
 	pipe := &core.Pipeline{Model: model, Placer: placer.Metis{Seed: *seed}}
 
+	// Training runs under a signal-aware context: SIGINT/SIGTERM cancels
+	// it, the trainer checkpoints at the next step boundary, and we exit
+	// with a message saying where the state went. -deadline adds a timer
+	// that triggers the same graceful path.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+
+	newTrainer := func(cfg rl.Config) *rl.Trainer {
+		cfg.CheckpointPath = *ckptPath
+		cfg.AutosaveEvery = *autosave
+		tr := rl.NewTrainer(cfg, model, pipe)
+		if *resume {
+			if *ckptPath == "" {
+				fatal(fmt.Errorf("-resume requires -checkpoint"))
+			}
+			if err := tr.LoadCheckpoint(*ckptPath); err != nil {
+				fatal(fmt.Errorf("resume: %w", err))
+			}
+			fmt.Fprintf(os.Stderr, "resumed from %s (level %d, epoch %d, step %d)\n",
+				*ckptPath, tr.Pos.Level, tr.Pos.Epoch, tr.Pos.Step)
+		}
+		return tr
+	}
+
 	switch *mode {
 	case "curriculum":
 		// The paper's size-based curriculum (§IV-C): medium → large →
@@ -69,7 +114,7 @@ func main() {
 		cfg.LR = *lr
 		cfg.Seed = *seed
 		cfg.Quiet = *quiet
-		tr := rl.NewTrainer(cfg, model, pipe)
+		tr := newTrainer(cfg)
 		var levels []rl.Level
 		for i, s := range []gen.Setting{gen.Medium(), gen.Large(), gen.XLarge()} {
 			lds := s.Scale(*scale).Generate()
@@ -81,9 +126,13 @@ func main() {
 				Name: s.Name, Graphs: lds.Train, Cluster: lds.Cluster, Epochs: ep,
 			})
 		}
-		tr.Curriculum(levels)
+		if err := tr.CurriculumCtx(ctx, levels); err != nil {
+			exitInterrupted(err)
+		}
 		if *savePath != "" {
-			if err := tr.SaveCheckpoint(*savePath); err != nil {
+			// -save is the deployable weights artifact; full training
+			// state goes to -checkpoint.
+			if err := tr.SaveWeights(*savePath); err != nil {
 				fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "saved curriculum model to %s\n", *savePath)
@@ -100,8 +149,10 @@ func main() {
 			cfg.PretrainEpochs = 0
 			cfg.LR = *lr / 3
 		}
-		tr := rl.NewTrainer(cfg, model, pipe)
-		tr.TrainOn(ds.Train, ds.Cluster)
+		tr := newTrainer(cfg)
+		if err := tr.TrainOnCtx(ctx, ds.Train, ds.Cluster); err != nil {
+			exitInterrupted(err)
+		}
 		if *savePath != "" {
 			if err := nn.SaveParams(model.PS, *savePath); err != nil {
 				fatal(err)
@@ -114,6 +165,15 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
+}
+
+// exitInterrupted reports a graceful shutdown (signal, deadline, or
+// training failure). The trainer has already checkpointed if a
+// -checkpoint path was configured; the error says where.
+func exitInterrupted(err error) {
+	fmt.Fprintf(os.Stderr, "coarsenrl: %v\n", err)
+	fmt.Fprintln(os.Stderr, "rerun with -resume to continue from the saved state")
+	os.Exit(1)
 }
 
 func evaluate(model *core.Model, pipe *core.Pipeline, ds *gen.Dataset) {

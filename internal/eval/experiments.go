@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -824,9 +825,17 @@ func mathInf() float64 { return 1e30 }
 
 // Run dispatches experiments by id ("fig1", "table1", ..., or "all").
 func (h *Harness) Run(ids ...string) error {
+	return h.RunCtx(context.Background(), ids...)
+}
+
+// RunCtx is Run with cancellation: the context is checked between
+// experiments, so an interrupted sweep stops after the experiment in
+// flight instead of running the rest of the suite.
+func (h *Harness) RunCtx(ctx context.Context, ids ...string) error {
 	known := map[string]func(){
 		"simvalidate":  func() { h.SimValidate() },
 		"transferapps": func() { h.TransferApps() },
+		"robustness":   func() { h.Robustness() },
 		"fig1":         func() { h.Fig1() },
 		"table1":       func() { h.Table1() },
 		"fig5":         func() { h.Fig5() },
@@ -838,13 +847,12 @@ func (h *Harness) Run(ids ...string) error {
 		"table3":       func() { h.Table3() },
 		"fig3":         func() { h.Fig3() },
 	}
-	order := []string{"fig1", "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "table3", "fig3", "simvalidate", "transferapps"}
+	order := []string{"fig1", "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "table3", "fig3", "simvalidate", "transferapps", "robustness"}
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = order
 	}
 	for _, id := range ids {
-		fn, ok := known[id]
-		if !ok {
+		if _, ok := known[id]; !ok {
 			keys := make([]string, 0, len(known))
 			for k := range known {
 				keys = append(keys, k)
@@ -852,7 +860,12 @@ func (h *Harness) Run(ids ...string) error {
 			sort.Strings(keys)
 			return fmt.Errorf("eval: unknown experiment %q (known: %v)", id, keys)
 		}
-		fn()
+	}
+	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("eval: experiment sweep interrupted before %q: %w", id, err)
+		}
+		known[id]()
 	}
 	return nil
 }

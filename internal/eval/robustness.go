@@ -1,0 +1,102 @@
+package eval
+
+import (
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/metis"
+	"repro/internal/runtime"
+	"repro/internal/stream"
+)
+
+// RobustnessResult reports how a placement's measured throughput degrades
+// as device-crash faults are injected into the concurrent runtime. Real
+// clusters fail; a placement that concentrates the hot path on one device
+// loses more under a crash than one that spreads it, so the degradation
+// curve is a robustness metric complementary to steady-state throughput.
+type RobustnessResult struct {
+	// Crashes[i] is the number of crash windows injected for column i
+	// (always starting at 0 = fault-free baseline).
+	Crashes []int
+	// Relative[i] is the mean relative throughput over the evaluated
+	// graphs with Crashes[i] crash windows.
+	Relative []float64
+	// Degradation[i] = Relative[i] / Relative[0]: the fraction of
+	// fault-free throughput retained (1.0 at i=0 by construction).
+	Degradation []float64
+}
+
+// Robustness measures throughput degradation under an escalating device
+// crash/restart schedule. Placements come from Metis on the small setting,
+// so the experiment exercises the fault-injected runtime without a
+// training dependency; each crash window takes down a different device in
+// rotation for 60 ms of the 400 ms run.
+func (h *Harness) Robustness() *RobustnessResult {
+	s := gen.Small()
+	s.TestN = maxi(3, int(float64(s.TestN)*h.Scale/2))
+	s.Seed += 53
+	ds := s.Generate()
+	cluster := ds.Cluster
+
+	graphs := ds.Test
+	if len(graphs) > 4 {
+		graphs = graphs[:4]
+	}
+	placements := make([]*stream.Placement, len(graphs))
+	for i, g := range graphs {
+		p := metis.Partition(g, metis.Options{Parts: cluster.Devices, Seed: h.Seed})
+		p.Devices = cluster.Devices
+		placements[i] = p
+	}
+
+	crashCounts := []int{0, 1, 2, 3}
+	res := &RobustnessResult{Crashes: crashCounts}
+	for _, k := range crashCounts {
+		cfg := runtime.DefaultConfig()
+		cfg.WallTime = 400 * time.Millisecond
+		cfg.WarmupFrac = 0.25
+		plan := &runtime.FaultPlan{}
+		for i := 0; i < k; i++ {
+			plan.Devices = append(plan.Devices, runtime.DeviceFault{
+				Device:   i % cluster.Devices,
+				At:       120*time.Millisecond + time.Duration(i)*70*time.Millisecond,
+				Duration: 60 * time.Millisecond,
+			})
+		}
+		cfg.Faults = plan
+
+		// Runs are wall-clock measurements on shared CPUs: keep them
+		// serial so concurrent runs do not distort each other's timing.
+		var sum float64
+		var n int
+		for i, g := range graphs {
+			r, err := runtime.Run(g, placements[i], cluster, cfg)
+			if err != nil {
+				h.printf("eval: robustness run failed on graph %d (k=%d): %v\n", i, k, err)
+				continue
+			}
+			sum += r.Relative
+			n++
+		}
+		mean := 0.0
+		if n > 0 {
+			mean = sum / float64(n)
+		}
+		res.Relative = append(res.Relative, mean)
+	}
+	for i := range res.Relative {
+		d := 1.0
+		if res.Relative[0] > 0 {
+			d = res.Relative[i] / res.Relative[0]
+		}
+		res.Degradation = append(res.Degradation, d)
+	}
+
+	h.printf("== Robustness: throughput under injected device crashes ==\n")
+	h.printf("  (Metis placements, %d graphs, 60 ms crash windows, 400 ms runs)\n", len(graphs))
+	for i, k := range res.Crashes {
+		h.printf("  %d crash(es): relative %.3f  retained %.2f\n", k, res.Relative[i], res.Degradation[i])
+	}
+	h.printf("\n")
+	return res
+}

@@ -1,0 +1,47 @@
+package eval
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRobustnessDegradesWithCrashes(t *testing.T) {
+	h := tinyHarness(t)
+	res := h.Robustness()
+	if len(res.Crashes) != len(res.Relative) || len(res.Crashes) != len(res.Degradation) {
+		t.Fatalf("ragged result: %+v", res)
+	}
+	if res.Crashes[0] != 0 {
+		t.Fatalf("first column must be the fault-free baseline, got %d crashes", res.Crashes[0])
+	}
+	if res.Relative[0] <= 0 {
+		t.Fatalf("fault-free baseline must make progress, got %v", res.Relative[0])
+	}
+	if res.Degradation[0] != 1 {
+		t.Fatalf("baseline degradation must be 1, got %v", res.Degradation[0])
+	}
+	// Crashes cost throughput: the most-faulted column must retain less
+	// than the fault-free one (generous slack for wall-clock noise).
+	last := len(res.Degradation) - 1
+	if res.Degradation[last] > 0.95 {
+		t.Errorf("3 crash windows should cost throughput: retained %v (%v)", res.Degradation[last], res.Degradation)
+	}
+}
+
+func TestRunCtxStopsBetweenExperiments(t *testing.T) {
+	h := tinyHarness(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := h.RunCtx(ctx, "robustness")
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("cancelled sweep must report interruption, got %v", err)
+	}
+}
+
+func TestRunKnowsRobustness(t *testing.T) {
+	h := tinyHarness(t)
+	if err := h.Run("robustness"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,8 +10,10 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"sort"
 
 	"repro/internal/autodiff"
+	"repro/internal/ckpt"
 	"repro/internal/tensor"
 )
 
@@ -165,6 +167,28 @@ func (a *Adam) Step(ps *ParamSet) {
 
 // StepCount returns the number of optimizer steps taken.
 func (a *Adam) StepCount() int { return a.step }
+
+// AdamState is the serializable optimizer state: hyperparameters plus the
+// bias-correction step count. Per-parameter moments are carried by
+// ParamState, so AdamState + a StateMap fully determine the next update.
+type AdamState struct {
+	LR       float64 `json:"lr"`
+	Beta1    float64 `json:"beta1"`
+	Beta2    float64 `json:"beta2"`
+	Eps      float64 `json:"eps"`
+	ClipNorm float64 `json:"clip_norm"`
+	Step     int     `json:"step"`
+}
+
+// State snapshots the optimizer.
+func (a *Adam) State() AdamState {
+	return AdamState{LR: a.LR, Beta1: a.Beta1, Beta2: a.Beta2, Eps: a.Eps, ClipNorm: a.ClipNorm, Step: a.step}
+}
+
+// SetState restores a snapshot taken by State.
+func (a *Adam) SetState(s AdamState) {
+	a.LR, a.Beta1, a.Beta2, a.Eps, a.ClipNorm, a.step = s.LR, s.Beta1, s.Beta2, s.Eps, s.ClipNorm, s.Step
+}
 
 // Linear is a fully connected layer y = x·Wᵀ + b.
 type Linear struct {
@@ -335,33 +359,49 @@ func (a *MultiHeadAttention) Apply(b *Binder, x *autodiff.Node) *autodiff.Node {
 	return t.Add(x, proj) // residual
 }
 
-// SaveParams writes all parameter values of ps as JSON to path.
+// paramsKind tags parameter checkpoints inside the ckpt envelope.
+const paramsKind = "nn-params"
+
+// SaveParams writes all parameter values of ps to path as a checksummed
+// envelope (see internal/ckpt), written atomically so a crash mid-save
+// cannot corrupt an existing file. LoadParams also accepts the legacy
+// bare-JSON map written by earlier versions.
 func SaveParams(ps *ParamSet, path string) error {
 	out := make(map[string]savedParam, len(ps.params))
 	for _, p := range ps.params {
 		out[p.Name] = savedParam{Rows: p.Value.Rows, Cols: p.Value.Cols, Data: p.Value.Data}
 	}
-	f, err := os.Create(path)
-	if err != nil {
+	if err := ckpt.WriteFile(path, paramsKind, out); err != nil {
 		return fmt.Errorf("nn: save params: %w", err)
 	}
-	defer f.Close()
-	enc := json.NewEncoder(f)
-	return enc.Encode(out)
+	return nil
 }
 
-// LoadParams reads parameter values from path into ps; every stored name
-// must exist in ps with a matching shape.
+// LoadParams reads parameter values from path into ps. New-format files
+// (ckpt envelopes) are checksum-verified; legacy bare-JSON maps remain
+// loadable but are parsed strictly. In both formats every parameter of ps
+// must be present in the file with a matching shape and a complete data
+// vector — a truncated, corrupt, or partial file is rejected with a
+// descriptive error instead of silently zero-filling or partially
+// updating the model.
 func LoadParams(ps *ParamSet, path string) error {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("nn: load params: %w", err)
 	}
-	defer f.Close()
 	var in map[string]savedParam
-	if err := json.NewDecoder(f).Decode(&in); err != nil {
-		return fmt.Errorf("nn: decode params: %w", err)
+	if ckpt.IsEnvelope(data) {
+		if err := ckpt.Decode(data, paramsKind, &in); err != nil {
+			return fmt.Errorf("nn: %s: %w", path, err)
+		}
+	} else {
+		// json.Unmarshal rejects both truncated values and trailing bytes.
+		if err := json.Unmarshal(data, &in); err != nil {
+			return fmt.Errorf("nn: %s is corrupt or truncated: %w", path, err)
+		}
 	}
+	// Validate everything before touching ps so a bad file cannot leave
+	// the model half-loaded.
 	for name, sp := range in {
 		p := ps.Get(name)
 		if p == nil {
@@ -371,15 +411,117 @@ func LoadParams(ps *ParamSet, path string) error {
 			return fmt.Errorf("nn: shape mismatch for %q: have %dx%d, file %dx%d",
 				name, p.Value.Rows, p.Value.Cols, sp.Rows, sp.Cols)
 		}
-		copy(p.Value.Data, sp.Data)
+		if len(sp.Data) != sp.Rows*sp.Cols {
+			return fmt.Errorf("nn: truncated data for %q in %s: %d values, want %d",
+				name, path, len(sp.Data), sp.Rows*sp.Cols)
+		}
+	}
+	if missing := missingNames(ps, in); len(missing) > 0 {
+		return fmt.Errorf("nn: %s is missing parameters %v (partial file?)", path, missing)
+	}
+	for name, sp := range in {
+		copy(ps.Get(name).Value.Data, sp.Data)
 	}
 	return nil
+}
+
+// missingNames lists parameters of ps absent from the loaded map.
+func missingNames(ps *ParamSet, in map[string]savedParam) []string {
+	var missing []string
+	for _, p := range ps.params {
+		if _, ok := in[p.Name]; !ok {
+			missing = append(missing, p.Name)
+		}
+	}
+	sort.Strings(missing)
+	return missing
 }
 
 type savedParam struct {
 	Rows int       `json:"rows"`
 	Cols int       `json:"cols"`
 	Data []float64 `json:"data"`
+}
+
+// ParamState is the full serialized state of one parameter: its value and
+// both Adam moment vectors. Full-state checkpoints persist these so a
+// resumed run continues the exact optimizer trajectory.
+type ParamState struct {
+	Rows  int       `json:"rows"`
+	Cols  int       `json:"cols"`
+	Value []float64 `json:"value"`
+	M     []float64 `json:"m"`
+	V     []float64 `json:"v"`
+}
+
+// StateMap deep-copies every parameter's value and Adam moments.
+func (ps *ParamSet) StateMap() map[string]ParamState {
+	out := make(map[string]ParamState, len(ps.params))
+	for _, p := range ps.params {
+		out[p.Name] = ParamState{
+			Rows:  p.Value.Rows,
+			Cols:  p.Value.Cols,
+			Value: append([]float64(nil), p.Value.Data...),
+			M:     append([]float64(nil), p.m.Data...),
+			V:     append([]float64(nil), p.v.Data...),
+		}
+	}
+	return out
+}
+
+// RestoreStateMap loads a StateMap back into ps. Every parameter of ps
+// must be present with matching shape and complete vectors; validation
+// happens before any mutation so failure leaves ps untouched.
+func (ps *ParamSet) RestoreStateMap(in map[string]ParamState) error {
+	for _, p := range ps.params {
+		st, ok := in[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: state missing parameter %q", p.Name)
+		}
+		if st.Rows != p.Value.Rows || st.Cols != p.Value.Cols {
+			return fmt.Errorf("nn: state shape mismatch for %q: have %dx%d, state %dx%d",
+				p.Name, p.Value.Rows, p.Value.Cols, st.Rows, st.Cols)
+		}
+		n := st.Rows * st.Cols
+		if len(st.Value) != n || len(st.M) != n || len(st.V) != n {
+			return fmt.Errorf("nn: truncated state for %q: value/m/v lengths %d/%d/%d, want %d",
+				p.Name, len(st.Value), len(st.M), len(st.V), n)
+		}
+	}
+	for _, p := range ps.params {
+		st := in[p.Name]
+		copy(p.Value.Data, st.Value)
+		copy(p.m.Data, st.M)
+		copy(p.v.Data, st.V)
+	}
+	return nil
+}
+
+// CheckFiniteGrads returns an error naming the first parameter whose
+// gradient buffer holds a NaN or Inf — the divergence-guard probe run
+// before every optimizer step.
+func (ps *ParamSet) CheckFiniteGrads() error {
+	for _, p := range ps.params {
+		for i, g := range p.Grad.Data {
+			if math.IsNaN(g) || math.IsInf(g, 0) {
+				return fmt.Errorf("nn: non-finite gradient %v at %s[%d]", g, p.Name, i)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckFiniteValues returns an error naming the first parameter whose
+// value holds a NaN or Inf.
+func (ps *ParamSet) CheckFiniteValues() error {
+	for _, p := range ps.params {
+		for i, v := range p.Value.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("nn: non-finite value %v at %s[%d]", v, p.Name, i)
+			}
+		}
+	}
+	return nil
 }
 
 // CopyValuesFrom copies parameter values from src into ps by name; both

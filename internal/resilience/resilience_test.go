@@ -1,0 +1,195 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachIsolatesPanicKeepsSiblingResults(t *testing.T) {
+	const n = 16
+	results := make([]int, n)
+	err := ForEach(n, 4, func(i int) error {
+		if i == 5 {
+			panic("worker exploded")
+		}
+		results[i] = i * i
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error from the panicking worker")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected *PanicError, got %T: %v", err, err)
+	}
+	if pe.Index != 5 || pe.Value != "worker exploded" {
+		t.Errorf("wrong panic metadata: %+v", pe)
+	}
+	if !strings.Contains(err.Error(), "resilience") && len(pe.Stack) == 0 {
+		t.Error("expected a captured stack trace")
+	}
+	for i := 0; i < n; i++ {
+		if i == 5 {
+			continue
+		}
+		if results[i] != i*i {
+			t.Errorf("sibling result %d lost: got %d", i, results[i])
+		}
+	}
+}
+
+func TestForEachJoinsMultipleFailures(t *testing.T) {
+	err := ForEach(8, 0, func(i int) error {
+		switch i {
+		case 2:
+			return fmt.Errorf("plain failure %d", i)
+		case 6:
+			panic(i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "plain failure 2") || !strings.Contains(msg, "task 6 panicked") {
+		t.Errorf("joined error missing a failure: %v", msg)
+	}
+}
+
+func TestMapCollectsAndReportsZeroSlots(t *testing.T) {
+	out, err := Map(6, 2, func(i int) (int, error) {
+		if i == 3 {
+			panic("boom")
+		}
+		return i + 1, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for i, v := range out {
+		want := i + 1
+		if i == 3 {
+			want = 0
+		}
+		if v != want {
+			t.Errorf("out[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestMapNoError(t *testing.T) {
+	out, err := Map(4, 0, func(i int) (string, error) { return fmt.Sprint(i), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 || out[2] != "2" {
+		t.Errorf("bad output %v", out)
+	}
+}
+
+func TestRetryEventuallySucceeds(t *testing.T) {
+	var calls int32
+	var slept []time.Duration
+	cfg := RetryConfig{Attempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 25 * time.Millisecond,
+		sleep: func(d time.Duration) { slept = append(slept, d) }}
+	err := Retry(context.Background(), cfg, func() error {
+		if atomic.AddInt32(&calls, 1) < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	if slept[1] < slept[0] {
+		t.Errorf("backoff should grow: %v", slept)
+	}
+}
+
+func TestRetryExhaustionWrapsLastError(t *testing.T) {
+	sentinel := errors.New("always fails")
+	cfg := RetryConfig{Attempts: 3, sleep: func(time.Duration) {}}
+	err := Retry(context.Background(), cfg, func() error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want wrapped sentinel, got %v", err)
+	}
+}
+
+func TestRetryRecoversPanics(t *testing.T) {
+	cfg := RetryConfig{Attempts: 2, sleep: func(time.Duration) {}}
+	err := Retry(context.Background(), cfg, func() error { panic("retryable panic") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+}
+
+func TestRetryStopsOnCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls int
+	err := Retry(ctx, RetryConfig{Attempts: 5}, func() error { calls++; return errors.New("x") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if calls != 0 {
+		t.Errorf("op ran %d times under a dead context", calls)
+	}
+}
+
+func TestRetryJitterStaysInBounds(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		f := jitterFactor(0.2)
+		if f < 0.8 || f > 1.2 {
+			t.Fatalf("jitter factor %f out of [0.8, 1.2]", f)
+		}
+	}
+	if jitterFactor(0) != 1 {
+		t.Error("zero jitter must be identity")
+	}
+}
+
+func TestWatchdogPassesThroughResult(t *testing.T) {
+	if err := Watchdog(context.Background(), time.Second, func(context.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("op failed")
+	err := Watchdog(context.Background(), time.Second, func(context.Context) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want sentinel, got %v", err)
+	}
+}
+
+func TestWatchdogTimesOut(t *testing.T) {
+	start := time.Now()
+	err := Watchdog(context.Background(), 20*time.Millisecond, func(ctx context.Context) error {
+		<-ctx.Done() // well-behaved op: exits on cancellation
+		return ctx.Err()
+	})
+	if !errors.Is(err, ErrWatchdogTimeout) {
+		t.Fatalf("want ErrWatchdogTimeout, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("watchdog did not return promptly")
+	}
+}
+
+func TestWatchdogRecoversPanic(t *testing.T) {
+	err := Watchdog(context.Background(), time.Second, func(context.Context) error { panic("guarded") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+}

@@ -10,21 +10,31 @@
 // vectors inferred from Metis partitions via maximum-spanning-tree
 // collapse inference; guided entries are evicted as soon as the policy
 // finds better samples, exactly as described in the paper.
+//
+// Training is fault-tolerant: the context-aware entry points
+// (TrainOnCtx, CurriculumCtx) cancel cleanly between steps and persist a
+// full-state checkpoint — parameters, Adam moments, memory buffers, RNG
+// state, and curriculum position — so an interrupted run resumes
+// step-for-step identical to an uninterrupted one. A divergence guard
+// detects non-finite losses or gradients, rolls the model back to the
+// last good state, and halves the learning rate instead of corrupting
+// the parameters; panics in simulator-scoring workers surface as errors
+// rather than crashing the process.
 package rl
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
+	"math"
+	randv2 "math/rand/v2"
 	"sort"
 
-	"math"
 	"repro/internal/core"
 	"repro/internal/gnn"
 	"repro/internal/metis"
 	"repro/internal/nn"
-	"repro/internal/parallel"
+	"repro/internal/resilience"
 	"repro/internal/sim"
-
 	"repro/internal/stream"
 
 	"repro/internal/autodiff"
@@ -53,6 +63,14 @@ type Config struct {
 	PretrainEpochs int
 	// Seed drives sampling.
 	Seed int64
+	// CheckpointPath, when set, receives full-state checkpoints: on every
+	// AutosaveEvery-th step and whenever training is interrupted by its
+	// context. Resume with LoadCheckpoint on a fresh trainer.
+	CheckpointPath string
+	// AutosaveEvery is the autosave cadence in REINFORCE steps (one step
+	// = one graph visit). 0 disables periodic autosave; interruption
+	// still checkpoints when CheckpointPath is set.
+	AutosaveEvery int
 	// Quiet suppresses progress logging.
 	Quiet bool
 	// Logf receives progress lines when non-nil (and Quiet is false).
@@ -79,6 +97,35 @@ type scored struct {
 	guided bool // true for Metis-seeded entries
 }
 
+// Progress locates a trainer inside its training plan so a checkpoint can
+// resume exactly where the previous process stopped: curriculum level,
+// pretraining epoch, REINFORCE epoch, the shuffled graph order of the
+// epoch in flight, the next step inside it, and the partial reward sum
+// feeding that epoch's History entry.
+type Progress struct {
+	// Level is the current curriculum level (0 outside curricula).
+	Level int `json:"level"`
+	// Pretrain counts completed guided-imitation epochs on this dataset.
+	Pretrain int `json:"pretrain"`
+	// Seeded records that the memory buffers hold the Metis-guided seeds.
+	Seeded bool `json:"seeded"`
+	// Epoch is the current REINFORCE epoch on this dataset.
+	Epoch int `json:"epoch"`
+	// Step indexes the next unprocessed entry of Order.
+	Step int `json:"step"`
+	// Order is the shuffled graph visit order of the epoch in flight
+	// (nil between epochs).
+	Order []int `json:"order,omitempty"`
+	// RewardSum accumulates on-policy rewards of the epoch in flight.
+	RewardSum float64 `json:"reward_sum"`
+}
+
+// goodState is the in-memory rollback target of the divergence guard.
+type goodState struct {
+	params map[string]nn.ParamState
+	opt    nn.AdamState
+}
+
 // Trainer holds the mutable training state for one model.
 type Trainer struct {
 	Cfg      Config
@@ -86,9 +133,18 @@ type Trainer struct {
 	Pipeline *core.Pipeline
 	Opt      *nn.Adam
 
+	// Pos locates the trainer inside its training plan (checkpointed).
+	Pos Progress
+	// Divergences counts guard-triggered rollbacks.
+	Divergences int
+
 	// buffer holds the best historical samples per training-graph index.
 	buffer map[int][]scored
-	rng    *rand.Rand
+	pcg    *randv2.PCG
+	rng    *randv2.Rand
+	steps  int // total REINFORCE steps taken (drives autosave cadence)
+
+	lastGood *goodState
 
 	// History records the mean on-policy reward per epoch.
 	History []float64
@@ -99,13 +155,15 @@ func NewTrainer(cfg Config, model *core.Model, pipe *core.Pipeline) *Trainer {
 	if pipe.Model != model {
 		panic("rl: pipeline must wrap the trained model")
 	}
+	pcg := randv2.NewPCG(uint64(cfg.Seed), 0x9E3779B97F4A7C15)
 	return &Trainer{
 		Cfg:      cfg,
 		Model:    model,
 		Pipeline: pipe,
 		Opt:      nn.NewAdam(cfg.LR),
 		buffer:   make(map[int][]scored),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		pcg:      pcg,
+		rng:      randv2.New(pcg),
 	}
 }
 
@@ -122,22 +180,27 @@ func (t *Trainer) logf(format string, args ...any) {
 
 // SeedMetisGuided populates the buffers with Metis-derived decisions for
 // every training graph (run before the first epoch when MetisGuided).
-func (t *Trainer) SeedMetisGuided(graphs []*stream.Graph, cluster sim.Cluster) {
-	entries := parallel.Map(len(graphs), 0, func(i int) scored {
+func (t *Trainer) SeedMetisGuided(graphs []*stream.Graph, cluster sim.Cluster) error {
+	entries, err := resilience.Map(len(graphs), 0, func(i int) (scored, error) {
 		g := graphs[i]
 		mp := metis.Partition(g, metis.Options{Parts: cluster.Devices, Seed: t.Cfg.Seed})
 		mp.Devices = cluster.Devices
 		d := core.Decision(metis.InferCollapsedEdges(g, mp))
 		alloc := t.Pipeline.AllocateDecision(g, cluster, d)
-		return scored{d: d, reward: sim.Reward(g, alloc.Placement, cluster), guided: true}
+		return scored{d: d, reward: sim.Reward(g, alloc.Placement, cluster), guided: true}, nil
 	})
+	if err != nil {
+		return fmt.Errorf("rl: metis seeding failed: %w", err)
+	}
 	for i, e := range entries {
 		t.buffer[i] = append(t.buffer[i], e)
 	}
+	t.Pos.Seeded = true
+	return nil
 }
 
 // step trains on one graph and returns the mean on-policy reward.
-func (t *Trainer) step(gi int, g *stream.Graph, cluster sim.Cluster) float64 {
+func (t *Trainer) step(gi int, g *stream.Graph, cluster sim.Cluster) (float64, error) {
 	f := gnn.BuildFeatures(g, cluster)
 	tape := autodiff.NewTape()
 	binder := nn.NewBinder(tape)
@@ -154,16 +217,27 @@ func (t *Trainer) step(gi int, g *stream.Graph, cluster sim.Cluster) float64 {
 		}
 		samples[s] = scored{d: d}
 	}
-	// Evaluate rewards in parallel (coarsen → partition → simulate).
-	parallel.ForEach(n, 0, func(s int) {
+	// Evaluate rewards in parallel (coarsen → partition → simulate). A
+	// panic in one worker surfaces here as an error; sibling samples are
+	// still scored.
+	if err := resilience.ForEach(n, 0, func(s int) error {
 		alloc := t.Pipeline.AllocateDecision(g, cluster, samples[s].d)
 		samples[s].reward = sim.Reward(g, alloc.Placement, cluster)
-	})
-	var onPolicyMean float64
-	for _, s := range samples {
-		onPolicyMean += s.reward
+		return nil
+	}); err != nil {
+		return 0, fmt.Errorf("rl: sample scoring on graph %d failed: %w", gi, err)
 	}
-	onPolicyMean /= float64(n)
+	var onPolicyMean float64
+	finiteN := 0
+	for _, s := range samples {
+		if isFinite(s.reward) {
+			onPolicyMean += s.reward
+			finiteN++
+		}
+	}
+	if finiteN > 0 {
+		onPolicyMean /= float64(finiteN)
+	}
 
 	// Mix in buffered best samples.
 	buf := t.buffer[gi]
@@ -212,17 +286,83 @@ func (t *Trainer) step(gi int, g *stream.Graph, cluster sim.Cluster) float64 {
 		t.Model.PS.ZeroGrads()
 		tape.Backward(loss, nil)
 		binder.Collect()
-		t.Opt.Step(t.Model.PS)
+		t.applyUpdate(scalarOf(loss))
 	}
 
 	// Update the buffer with the new samples; keep the best, evicting
 	// guided entries once on-policy samples beat them.
 	t.updateBuffer(gi, samples)
-	return onPolicyMean
+	return onPolicyMean, nil
+}
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// scalarOf reads the scalar value of a loss node.
+func scalarOf(n *autodiff.Node) float64 {
+	if n == nil || len(n.Value.Data) == 0 {
+		return 0
+	}
+	return n.Value.Data[0]
+}
+
+// applyUpdate runs the divergence guard and, when the step is healthy,
+// the optimizer update. A non-finite loss, gradient, or post-update
+// parameter rolls the model and optimizer back to the last good state
+// and halves the learning rate — a NaN never propagates into the model.
+// It returns false when the guard fired.
+func (t *Trainer) applyUpdate(lossVal float64) bool {
+	if !isFinite(lossVal) {
+		t.rollback(fmt.Errorf("non-finite loss %v", lossVal))
+		return false
+	}
+	if err := t.Model.PS.CheckFiniteGrads(); err != nil {
+		t.rollback(err)
+		return false
+	}
+	t.Opt.Step(t.Model.PS)
+	if err := t.Model.PS.CheckFiniteValues(); err != nil {
+		t.rollback(err)
+		return false
+	}
+	t.snapshotGood()
+	return true
+}
+
+// snapshotGood records the current parameters and optimizer as the
+// divergence guard's rollback target.
+func (t *Trainer) snapshotGood() {
+	t.lastGood = &goodState{params: t.Model.PS.StateMap(), opt: t.Opt.State()}
+}
+
+// rollback restores the last good state (when one exists) and halves the
+// learning rate. Sampling RNG state is deliberately not rolled back:
+// replaying the identical samples would reproduce the identical
+// divergence.
+func (t *Trainer) rollback(cause error) {
+	t.Divergences++
+	// Halve the *current* learning rate, not the snapshot's: repeated
+	// rollbacks without an intervening good step must keep compounding.
+	halved := t.Opt.LR / 2
+	if t.lastGood != nil {
+		if err := t.Model.PS.RestoreStateMap(t.lastGood.params); err != nil {
+			panic(fmt.Sprintf("rl: rollback failed: %v", err))
+		}
+		t.Opt.SetState(t.lastGood.opt)
+	}
+	t.Opt.LR = halved
+	t.logf("rl: divergence guard: %v — rolled back to last good state, lr halved to %g (rollback #%d)",
+		cause, t.Opt.LR, t.Divergences)
 }
 
 func (t *Trainer) updateBuffer(gi int, samples []scored) {
-	buf := append(t.buffer[gi], samples...)
+	buf := t.buffer[gi]
+	for _, s := range samples {
+		// Never admit non-finite rewards: one NaN would poison every
+		// future baseline computed from this buffer.
+		if isFinite(s.reward) {
+			buf = append(buf, s)
+		}
+	}
 	sort.SliceStable(buf, func(a, b int) bool {
 		if buf[a].reward != buf[b].reward {
 			return buf[a].reward > buf[b].reward
@@ -245,16 +385,29 @@ func (t *Trainer) updateBuffer(gi int, samples []scored) {
 // collapse decisions for Cfg.PretrainEpochs epochs. It teaches the model
 // which edges belong together (heavy intra-part spanning edges) before any
 // reward signal is available — the cold-start guidance of §IV-C.
-func (t *Trainer) PretrainGuided(graphs []*stream.Graph, cluster sim.Cluster) {
-	if t.Cfg.PretrainEpochs <= 0 {
-		return
+func (t *Trainer) PretrainGuided(graphs []*stream.Graph, cluster sim.Cluster) error {
+	return t.PretrainGuidedCtx(context.Background(), graphs, cluster)
+}
+
+// PretrainGuidedCtx is PretrainGuided with cancellation between epochs;
+// completed epochs are tracked in Pos.Pretrain so a resumed run continues
+// rather than restarting.
+func (t *Trainer) PretrainGuidedCtx(ctx context.Context, graphs []*stream.Graph, cluster sim.Cluster) error {
+	if t.Cfg.PretrainEpochs <= 0 || t.Pos.Pretrain >= t.Cfg.PretrainEpochs {
+		return nil
 	}
-	targets := parallel.Map(len(graphs), 0, func(i int) core.Decision {
+	targets, err := resilience.Map(len(graphs), 0, func(i int) (core.Decision, error) {
 		mp := metis.Partition(graphs[i], metis.Options{Parts: cluster.Devices, Seed: t.Cfg.Seed})
 		mp.Devices = cluster.Devices
-		return core.Decision(metis.InferCollapsedEdges(graphs[i], mp))
+		return core.Decision(metis.InferCollapsedEdges(graphs[i], mp)), nil
 	})
-	for epoch := 0; epoch < t.Cfg.PretrainEpochs; epoch++ {
+	if err != nil {
+		return fmt.Errorf("rl: pretrain target inference failed: %w", err)
+	}
+	for epoch := t.Pos.Pretrain; epoch < t.Cfg.PretrainEpochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return t.halt(err)
+		}
 		for i, g := range graphs {
 			f := gnn.BuildFeatures(g, cluster)
 			tape := autodiff.NewTape()
@@ -264,39 +417,104 @@ func (t *Trainer) PretrainGuided(graphs []*stream.Graph, cluster sim.Cluster) {
 			t.Model.PS.ZeroGrads()
 			tape.Backward(loss, nil)
 			binder.Collect()
-			t.Opt.Step(t.Model.PS)
+			t.applyUpdate(scalarOf(loss))
 		}
+		t.Pos.Pretrain = epoch + 1
 		t.logf("rl: pretrain epoch %d/%d", epoch+1, t.Cfg.PretrainEpochs)
 	}
+	return nil
 }
 
 // TrainOn runs guided pretraining (first call only) followed by
-// Cfg.Epochs of REINFORCE over the graphs.
-func (t *Trainer) TrainOn(graphs []*stream.Graph, cluster sim.Cluster) {
-	if t.Cfg.MetisGuided && len(t.buffer) == 0 {
-		t.PretrainGuided(graphs, cluster)
-		t.SeedMetisGuided(graphs, cluster)
-	}
-	order := make([]int, len(graphs))
-	for i := range order {
-		order[i] = i
-	}
-	for epoch := 0; epoch < t.Cfg.Epochs; epoch++ {
-		t.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		var mean float64
-		for _, gi := range order {
-			mean += t.step(gi, graphs[gi], cluster)
-		}
-		mean /= float64(len(graphs))
-		t.History = append(t.History, mean)
-		t.logf("rl: epoch %d/%d mean on-policy reward %.4f", epoch+1, t.Cfg.Epochs, mean)
-	}
+// Cfg.Epochs of REINFORCE over the graphs. It is TrainOnCtx without
+// cancellation.
+func (t *Trainer) TrainOn(graphs []*stream.Graph, cluster sim.Cluster) error {
+	return t.TrainOnCtx(context.Background(), graphs, cluster)
 }
 
-// ResetBuffers clears the per-graph memory (use when switching datasets
-// during curriculum fine-tuning: graph indices change meaning).
+// TrainOnCtx trains like TrainOn but honors ctx between pretraining
+// epochs and between REINFORCE steps: on cancellation (SIGINT routed via
+// signal.NotifyContext, a deadline, …) it checkpoints to
+// Cfg.CheckpointPath (when set) and returns the context's error wrapped
+// with where the state went. When Cfg.AutosaveEvery > 0 it additionally
+// checkpoints every that-many steps, so even a SIGKILL loses at most one
+// autosave interval.
+func (t *Trainer) TrainOnCtx(ctx context.Context, graphs []*stream.Graph, cluster sim.Cluster) error {
+	if t.Cfg.MetisGuided && !t.Pos.Seeded && len(t.buffer) == 0 {
+		if err := t.PretrainGuidedCtx(ctx, graphs, cluster); err != nil {
+			return err
+		}
+		if err := t.SeedMetisGuided(graphs, cluster); err != nil {
+			return err
+		}
+	}
+	for epoch := t.Pos.Epoch; epoch < t.Cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return t.halt(err)
+		}
+		t.Pos.Epoch = epoch
+		if len(t.Pos.Order) != len(graphs) {
+			order := make([]int, len(graphs))
+			for i := range order {
+				order[i] = i
+			}
+			t.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			t.Pos.Order = order
+			t.Pos.Step = 0
+			t.Pos.RewardSum = 0
+		}
+		for si := t.Pos.Step; si < len(t.Pos.Order); si++ {
+			if err := ctx.Err(); err != nil {
+				return t.halt(err)
+			}
+			gi := t.Pos.Order[si]
+			r, err := t.step(gi, graphs[gi], cluster)
+			if err != nil {
+				return t.halt(err)
+			}
+			t.Pos.RewardSum += r
+			t.Pos.Step = si + 1
+			t.steps++
+			if t.Cfg.AutosaveEvery > 0 && t.Cfg.CheckpointPath != "" && t.steps%t.Cfg.AutosaveEvery == 0 {
+				if err := t.SaveCheckpoint(t.Cfg.CheckpointPath); err != nil {
+					return fmt.Errorf("rl: autosave failed: %w", err)
+				}
+			}
+		}
+		mean := t.Pos.RewardSum / float64(len(graphs))
+		t.History = append(t.History, mean)
+		t.Pos.Epoch = epoch + 1
+		t.Pos.Step = 0
+		t.Pos.Order = nil
+		t.Pos.RewardSum = 0
+		t.logf("rl: epoch %d/%d mean on-policy reward %.4f", epoch+1, t.Cfg.Epochs, mean)
+	}
+	// Dataset pass complete: clear the epoch cursor so a subsequent
+	// TrainOn (fine-tuning on new data) starts a fresh pass while the
+	// pretrain/seed markers keep their one-time semantics.
+	t.Pos.Epoch = 0
+	return nil
+}
+
+// halt checkpoints on interruption or step failure, then returns the
+// cause annotated with where the state was saved.
+func (t *Trainer) halt(cause error) error {
+	if t.Cfg.CheckpointPath == "" {
+		return fmt.Errorf("rl: training interrupted: %w", cause)
+	}
+	if serr := t.SaveCheckpoint(t.Cfg.CheckpointPath); serr != nil {
+		return fmt.Errorf("rl: training interrupted (%w); checkpoint also failed: %v", cause, serr)
+	}
+	return fmt.Errorf("rl: training interrupted (state saved to %s): %w", t.Cfg.CheckpointPath, cause)
+}
+
+// ResetBuffers clears the per-graph memory and the per-dataset progress
+// markers (use when switching datasets during curriculum fine-tuning:
+// graph indices change meaning, and the new dataset deserves its own
+// guided cold start).
 func (t *Trainer) ResetBuffers() {
 	t.buffer = make(map[int][]scored)
+	t.Pos = Progress{Level: t.Pos.Level}
 }
 
 // Level is one curriculum stage (§IV-C): a dataset plus epochs to train.
@@ -311,24 +529,39 @@ type Level struct {
 // parameters forward and resetting per-graph buffers between levels (the
 // paper's size-based curriculum: 100–200/10dev → 400–500/10dev →
 // 1–2K/20dev).
-func (t *Trainer) Curriculum(levels []Level) {
-	for li, lv := range levels {
-		t.ResetBuffers()
+func (t *Trainer) Curriculum(levels []Level) error {
+	return t.CurriculumCtx(context.Background(), levels)
+}
+
+// CurriculumCtx is Curriculum with cancellation and resume: it starts at
+// Pos.Level (restored by LoadCheckpoint), finishes the level in flight
+// from its checkpointed epoch/step, and advances.
+func (t *Trainer) CurriculumCtx(ctx context.Context, levels []Level) error {
+	for li := t.Pos.Level; li < len(levels); li++ {
+		lv := levels[li]
+		t.Pos.Level = li
 		saved := t.Cfg.Epochs
 		if lv.Epochs > 0 {
 			t.Cfg.Epochs = lv.Epochs
 		}
 		t.logf("rl: curriculum level %d/%d (%s): %d graphs, %d devices",
 			li+1, len(levels), lv.Name, len(lv.Graphs), lv.Cluster.Devices)
-		t.TrainOn(lv.Graphs, lv.Cluster)
+		err := t.TrainOnCtx(ctx, lv.Graphs, lv.Cluster)
 		t.Cfg.Epochs = saved
+		if err != nil {
+			return err
+		}
+		// Level complete: next level gets fresh buffers and markers.
+		t.Pos.Level = li + 1
+		t.ResetBuffers()
 	}
+	return nil
 }
 
 // Evaluate runs deployment-time inference (ranked coarsening sweep) on
 // every graph and returns the per-graph relative throughputs.
 func Evaluate(pipe *core.Pipeline, graphs []*stream.Graph, cluster sim.Cluster) []float64 {
-	return parallel.Map(len(graphs), 0, func(i int) float64 {
+	return evalWith(graphs, func(i int) float64 {
 		alloc := pipe.Allocate(graphs[i], cluster)
 		return sim.Reward(graphs[i], alloc.Placement, cluster)
 	})
@@ -337,23 +570,22 @@ func Evaluate(pipe *core.Pipeline, graphs []*stream.Graph, cluster sim.Cluster) 
 // EvaluateGreedy runs pure threshold-0.5 inference on every graph (used by
 // inference-mode ablations).
 func EvaluateGreedy(pipe *core.Pipeline, graphs []*stream.Graph, cluster sim.Cluster) []float64 {
-	return parallel.Map(len(graphs), 0, func(i int) float64 {
+	return evalWith(graphs, func(i int) float64 {
 		alloc := pipe.AllocateGreedy(graphs[i], cluster)
 		return sim.Reward(graphs[i], alloc.Placement, cluster)
 	})
 }
 
-// SaveCheckpoint writes the model parameters plus trainer history to path
-// (JSON). The optimizer's moment estimates are not persisted: resuming
-// re-warms Adam, which is standard practice for fine-tuning stages.
-func (t *Trainer) SaveCheckpoint(path string) error {
-	if err := nn.SaveParams(t.Model.PS, path); err != nil {
-		return err
+// evalWith scores every graph in parallel with panic isolation. A panic
+// in one worker no longer kills sibling scorings mid-flight; once all
+// graphs are attempted the recovered panic (with its stack) is re-raised
+// so a partial result can never masquerade as a complete evaluation.
+func evalWith(graphs []*stream.Graph, score func(i int) float64) []float64 {
+	out, err := resilience.Map(len(graphs), 0, func(i int) (float64, error) {
+		return score(i), nil
+	})
+	if err != nil {
+		panic(err)
 	}
-	return nil
-}
-
-// LoadCheckpoint restores model parameters saved by SaveCheckpoint.
-func (t *Trainer) LoadCheckpoint(path string) error {
-	return nn.LoadParams(t.Model.PS, path)
+	return out
 }

@@ -1,0 +1,129 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// DeviceFault crashes one device at At for Duration (both wall-clock
+// offsets from the start of the run; multiply by Config.TimeScale for
+// simulated time). Duration <= 0 keeps the device down for the remainder
+// of the run. While down, the device's operators neither ingest, process,
+// nor emit, so full input channels exert backpressure on upstream devices
+// exactly as a dead machine would. On restart the device comes back
+// empty: queued tuples, accumulated residual output, and NIC credits are
+// lost, and whatever sat in its input channels is drained and dropped —
+// the in-flight data a real crash destroys.
+type DeviceFault struct {
+	Device   int
+	At       time.Duration
+	Duration time.Duration
+}
+
+// LinkFault degrades the NIC bandwidth of one device (Device == -1 hits
+// every device) by Factor during [At, At+Duration): both egress and
+// ingress token rates are multiplied by Factor. Factor 0 severs the
+// link — a short Factor-0 window is a link flap — and overlapping faults
+// compound multiplicatively. Duration <= 0 lasts for the rest of the run.
+type LinkFault struct {
+	Device   int
+	At       time.Duration
+	Duration time.Duration
+	Factor   float64
+}
+
+// FaultPlan schedules failures injected into an execution so placements
+// can be scored under device crashes, restarts, and degraded or flapping
+// links — the robustness dimension real clusters add on top of steady-state
+// throughput.
+type FaultPlan struct {
+	Devices []DeviceFault
+	Links   []LinkFault
+}
+
+// Empty reports whether the plan injects nothing.
+func (fp *FaultPlan) Empty() bool {
+	return fp == nil || (len(fp.Devices) == 0 && len(fp.Links) == 0)
+}
+
+// Validate checks the plan against a cluster size.
+func (fp *FaultPlan) Validate(devices int) error {
+	if fp == nil {
+		return nil
+	}
+	for i, f := range fp.Devices {
+		if f.Device < 0 || f.Device >= devices {
+			return fmt.Errorf("runtime: device fault %d targets device %d of %d", i, f.Device, devices)
+		}
+		if f.At < 0 {
+			return fmt.Errorf("runtime: device fault %d has negative start %v", i, f.At)
+		}
+	}
+	for i, f := range fp.Links {
+		if f.Device < -1 || f.Device >= devices {
+			return fmt.Errorf("runtime: link fault %d targets device %d of %d", i, f.Device, devices)
+		}
+		if f.At < 0 {
+			return fmt.Errorf("runtime: link fault %d has negative start %v", i, f.At)
+		}
+		if f.Factor < 0 {
+			return fmt.Errorf("runtime: link fault %d has negative factor %v", i, f.Factor)
+		}
+	}
+	return nil
+}
+
+// active reports whether a window [at, at+dur) covers elapsed.
+func active(at, dur, elapsed time.Duration) bool {
+	if elapsed < at {
+		return false
+	}
+	return dur <= 0 || elapsed < at+dur
+}
+
+// faultSchedule is the read-only per-run view of a FaultPlan. Device
+// goroutines query it with plain time comparisons — no shared mutable
+// state, so no synchronization is needed on the hot path.
+type faultSchedule struct {
+	downs [][]DeviceFault // per device
+	links []LinkFault
+}
+
+func newFaultSchedule(fp *FaultPlan, devices int) *faultSchedule {
+	if fp.Empty() {
+		return nil
+	}
+	s := &faultSchedule{downs: make([][]DeviceFault, devices), links: fp.Links}
+	for _, f := range fp.Devices {
+		s.downs[f.Device] = append(s.downs[f.Device], f)
+	}
+	return s
+}
+
+// deviceDown reports whether device d is crashed at elapsed.
+func (s *faultSchedule) deviceDown(d int, elapsed time.Duration) bool {
+	if s == nil {
+		return false
+	}
+	for _, f := range s.downs[d] {
+		if active(f.At, f.Duration, elapsed) {
+			return true
+		}
+	}
+	return false
+}
+
+// linkFactor returns the bandwidth multiplier for device d at elapsed
+// (the product of every active link fault touching d).
+func (s *faultSchedule) linkFactor(d int, elapsed time.Duration) float64 {
+	if s == nil {
+		return 1
+	}
+	factor := 1.0
+	for _, f := range s.links {
+		if (f.Device == d || f.Device == -1) && active(f.At, f.Duration, elapsed) {
+			factor *= f.Factor
+		}
+	}
+	return factor
+}

@@ -1,0 +1,232 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+// chainGraph builds src -> mid -> sink with the given per-tuple payload
+// on both edges.
+func chainGraph(rate, payload float64) *stream.Graph {
+	g := stream.NewGraph(rate)
+	src := g.AddNode(stream.Node{IPT: 0, Selectivity: 1})
+	mid := g.AddNode(stream.Node{IPT: 0, Selectivity: 1})
+	sink := g.AddNode(stream.Node{IPT: 0, Selectivity: 1})
+	g.AddEdge(src, mid, payload)
+	g.AddEdge(mid, sink, payload)
+	return g
+}
+
+func onDevice(g *stream.Graph, devices int, assign ...int) *stream.Placement {
+	p := stream.NewPlacement(g.NumNodes(), devices)
+	copy(p.Assign, assign)
+	return p
+}
+
+// faultCfg runs long enough that crash windows dominate scheduling noise.
+func faultCfg() Config {
+	cfg := DefaultConfig()
+	cfg.WallTime = 400 * time.Millisecond
+	cfg.WarmupFrac = 0.25
+	return cfg
+}
+
+func TestFaultPlanValidate(t *testing.T) {
+	cases := []struct {
+		plan *FaultPlan
+		ok   bool
+	}{
+		{nil, true},
+		{&FaultPlan{}, true},
+		{&FaultPlan{Devices: []DeviceFault{{Device: 1, At: time.Millisecond}}}, true},
+		{&FaultPlan{Devices: []DeviceFault{{Device: 5}}}, false},
+		{&FaultPlan{Devices: []DeviceFault{{Device: 0, At: -time.Second}}}, false},
+		{&FaultPlan{Links: []LinkFault{{Device: -1, Factor: 0.5}}}, true},
+		{&FaultPlan{Links: []LinkFault{{Device: -2, Factor: 0.5}}}, false},
+		{&FaultPlan{Links: []LinkFault{{Device: 0, Factor: -1}}}, false},
+	}
+	for i, c := range cases {
+		err := c.plan.Validate(2)
+		if (err == nil) != c.ok {
+			t.Errorf("case %d: err=%v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestRunRejectsInvalidFaultPlan(t *testing.T) {
+	g := chainGraph(1000, 0)
+	p := onDevice(g, 2, 0, 0, 0)
+	cfg := faultCfg()
+	cfg.Faults = &FaultPlan{Devices: []DeviceFault{{Device: 7}}}
+	_, err := Run(g, p, sim.DefaultCluster(2, 1000), cfg)
+	if err == nil || !strings.Contains(err.Error(), "targets device") {
+		t.Fatalf("want validation error, got %v", err)
+	}
+}
+
+// TestThroughputDegradesMonotonicallyWithCrashCount injects k disjoint
+// downtime windows into an otherwise unconstrained run: measured relative
+// throughput must fall as k grows (the acceptance criterion for the
+// robustness metric).
+func TestThroughputDegradesMonotonicallyWithCrashCount(t *testing.T) {
+	c := sim.DefaultCluster(1, 1000)
+	rels := make([]float64, 4)
+	for k := 0; k < len(rels); k++ {
+		g := chainGraph(100, 0) // light load: fault-free run reaches ~1.0
+		p := onDevice(g, 1, 0, 0, 0)
+		cfg := faultCfg()
+		plan := &FaultPlan{}
+		for i := 0; i < k; i++ {
+			plan.Devices = append(plan.Devices, DeviceFault{
+				Device:   0,
+				At:       120*time.Millisecond + time.Duration(i)*70*time.Millisecond,
+				Duration: 60 * time.Millisecond,
+			})
+		}
+		cfg.Faults = plan
+		res, err := Run(g, p, c, cfg)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		rels[k] = res.Relative
+	}
+	t.Logf("relative throughput by crash count: %v", rels)
+	if rels[0] < 0.8 {
+		t.Fatalf("fault-free baseline too low to discriminate: %v", rels[0])
+	}
+	for k := 1; k < len(rels); k++ {
+		if rels[k] > rels[k-1]+0.05 {
+			t.Errorf("throughput rose with more crashes: rel[%d]=%v > rel[%d]=%v", k, rels[k], k-1, rels[k-1])
+		}
+	}
+	if rels[len(rels)-1] > rels[0]-0.2 {
+		t.Errorf("three crash windows should cost >0.2 relative throughput: %v", rels)
+	}
+}
+
+// TestCrashedDeviceRestartsAndRunCompletes crashes the downstream device
+// mid-run; the run must finish, lose throughput versus fault-free, and
+// still make progress after the restart.
+func TestCrashedDeviceRestartsAndRunCompletes(t *testing.T) {
+	c := sim.DefaultCluster(2, 1e6)
+	mk := func(plan *FaultPlan) float64 {
+		g := chainGraph(200, 1)
+		p := onDevice(g, 2, 0, 0, 1) // sink alone on device 1
+		cfg := faultCfg()
+		cfg.Faults = plan
+		res, err := Run(g, p, c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Relative
+	}
+	clean := mk(nil)
+	faulted := mk(&FaultPlan{Devices: []DeviceFault{
+		{Device: 1, At: 140 * time.Millisecond, Duration: 120 * time.Millisecond},
+	}})
+	t.Logf("clean=%v faulted=%v", clean, faulted)
+	if faulted >= clean {
+		t.Errorf("crashing the sink's device must cost throughput: clean=%v faulted=%v", clean, faulted)
+	}
+	if faulted < 0.05 {
+		t.Errorf("device restarted 140ms before the end; some post-restart progress expected, got %v", faulted)
+	}
+}
+
+// TestLinkDegradationThrottlesCrossDeviceEdge saturates a cross-device
+// edge, then degrades the link to 20%: throughput must drop accordingly.
+func TestLinkDegradationThrottlesCrossDeviceEdge(t *testing.T) {
+	// Bandwidth sized so the cross edge is the bottleneck even fault-free:
+	// 200 t/s × 10 kbit = 2 Mbps against a 1 Mbps link.
+	c := sim.DefaultCluster(2, 1)
+	mk := func(plan *FaultPlan) float64 {
+		g := chainGraph(200, 10000)
+		p := onDevice(g, 2, 0, 0, 1)
+		cfg := faultCfg()
+		cfg.Faults = plan
+		res, err := Run(g, p, c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Relative
+	}
+	clean := mk(nil)
+	degraded := mk(&FaultPlan{Links: []LinkFault{
+		{Device: -1, At: 0, Factor: 0.2},
+	}})
+	t.Logf("clean=%v degraded=%v", clean, degraded)
+	if degraded >= clean*0.7 {
+		t.Errorf("an 80%% link degradation should show: clean=%v degraded=%v", clean, degraded)
+	}
+}
+
+// TestLinkFlapRecovers severs a saturated link briefly; throughput must
+// dip below fault-free (the lost window cannot be caught up — the link is
+// the bottleneck) but recover enough to beat a permanent severance.
+func TestLinkFlapRecovers(t *testing.T) {
+	// 200 t/s × 10 kbit = 2 Mbps against a 1 Mbps link: saturated, so
+	// every severed millisecond is unrecoverable.
+	c := sim.DefaultCluster(2, 1)
+	mk := func(plan *FaultPlan) float64 {
+		g := chainGraph(200, 10000)
+		p := onDevice(g, 2, 0, 0, 1)
+		cfg := faultCfg()
+		cfg.Faults = plan
+		res, err := Run(g, p, c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Relative
+	}
+	clean := mk(nil)
+	flap := mk(&FaultPlan{Links: []LinkFault{
+		{Device: 1, At: 150 * time.Millisecond, Duration: 80 * time.Millisecond, Factor: 0},
+	}})
+	severed := mk(&FaultPlan{Links: []LinkFault{
+		{Device: 1, At: 100 * time.Millisecond, Factor: 0},
+	}})
+	t.Logf("clean=%v flap=%v severed=%v", clean, flap, severed)
+	if flap > clean-0.03 {
+		t.Errorf("a flap on a saturated link must cost throughput: clean=%v flap=%v", clean, flap)
+	}
+	if severed > flap-0.03 {
+		t.Errorf("a permanent severance must cost more than a flap: flap=%v severed=%v", flap, severed)
+	}
+}
+
+func TestFaultScheduleQueries(t *testing.T) {
+	plan := &FaultPlan{
+		Devices: []DeviceFault{{Device: 0, At: 10 * time.Millisecond, Duration: 5 * time.Millisecond}},
+		Links: []LinkFault{
+			{Device: -1, At: 0, Duration: 20 * time.Millisecond, Factor: 0.5},
+			{Device: 1, At: 0, Duration: 20 * time.Millisecond, Factor: 0.5},
+		},
+	}
+	s := newFaultSchedule(plan, 2)
+	if s.deviceDown(0, 5*time.Millisecond) {
+		t.Error("device 0 should be up before At")
+	}
+	if !s.deviceDown(0, 12*time.Millisecond) {
+		t.Error("device 0 should be down inside the window")
+	}
+	if s.deviceDown(0, 16*time.Millisecond) {
+		t.Error("device 0 should have restarted")
+	}
+	if f := s.linkFactor(0, 10*time.Millisecond); f != 0.5 {
+		t.Errorf("device 0 factor = %v, want 0.5", f)
+	}
+	if f := s.linkFactor(1, 10*time.Millisecond); f != 0.25 {
+		t.Errorf("overlapping faults must compound: got %v, want 0.25", f)
+	}
+	if f := s.linkFactor(1, 30*time.Millisecond); f != 1 {
+		t.Errorf("expired faults must clear: got %v, want 1", f)
+	}
+	var empty *faultSchedule
+	if empty.deviceDown(0, 0) || empty.linkFactor(0, 0) != 1 {
+		t.Error("nil schedule must be a no-op")
+	}
+}

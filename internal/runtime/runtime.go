@@ -12,11 +12,17 @@
 //
 // Tuples are not materialized individually; batches carry counts, so the
 // runtime measures scheduling/contention behaviour, not payload copying.
+//
+// A FaultPlan (see fault.go) optionally injects device crashes/restarts
+// and link-rate degradations or flaps into a run, so a placement can be
+// scored under the failures a real cluster exhibits — the robustness
+// metric reported by the eval harness and examples/faults.
 package runtime
 
 import (
 	"context"
 	"fmt"
+	goruntime "runtime"
 	"sync"
 	"time"
 
@@ -39,6 +45,9 @@ type Config struct {
 	ChannelDepth int
 	// WarmupFrac of WallTime is excluded from throughput measurement.
 	WarmupFrac float64
+	// Faults optionally injects device crashes and link degradations into
+	// the run (nil = fault-free execution). See FaultPlan.
+	Faults *FaultPlan
 }
 
 // DefaultConfig runs 300 ms of wall time at 10× time scale.
@@ -83,6 +92,23 @@ func newBucket(rate float64, start time.Time) *bucket {
 	return &bucket{rate: rate, last: start, burst: rate * 0.004, tokens: rate * 0.001}
 }
 
+// setRate accrues tokens at the old rate up to now, then switches the
+// bucket to a new rate (fault injection: link degradation and recovery).
+func (b *bucket) setRate(rate float64, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	dt := now.Sub(b.last).Seconds()
+	if dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	b.rate = rate
+	b.burst = rate * 0.004
+}
+
 // take attempts to consume want tokens; it returns how many were granted
 // (possibly 0). Tokens accrue with wall time.
 func (b *bucket) take(want float64, now time.Time) float64 {
@@ -118,6 +144,10 @@ func Run(g *stream.Graph, p *stream.Placement, c sim.Cluster, cfg Config) (Resul
 	if cfg.WallTime <= 0 || cfg.TimeScale <= 0 || cfg.BatchTuples <= 0 || cfg.ChannelDepth <= 0 {
 		return Result{}, fmt.Errorf("runtime: invalid config %+v", cfg)
 	}
+	if err := cfg.Faults.Validate(c.Devices); err != nil {
+		return Result{}, err
+	}
+	faults := newFaultSchedule(cfg.Faults, c.Devices)
 
 	n := g.NumNodes()
 	start := time.Now()
@@ -149,6 +179,18 @@ func Run(g *stream.Graph, p *stream.Placement, c sim.Cluster, cfg Config) (Resul
 	bitCredit := make([]float64, g.NumEdges())
 	// Receive-side credits enforcing the ingress NIC budget the same way.
 	rcvCredit := make([]float64, g.NumEdges())
+	// Last successful send per cross-device edge: sub-batch residuals are
+	// held back until the edge has been quiet for a few milliseconds, so
+	// low-rate flows still flush promptly but a busy link carries full
+	// batches instead of a storm of fractional-tuple messages (each of
+	// which would pay the whole credit handshake). Same-device edges are
+	// exempt — their sends are free, and holding them back would starve a
+	// device-mate of pending work between flushes.
+	lastSend := make([]time.Time, g.NumEdges())
+	for i := range lastSend {
+		lastSend[i] = start
+	}
+	const partialFlushAfter = 4 * time.Millisecond
 
 	// Per-sink tuple counts: each element is owned by exactly one device
 	// goroutine, summed after Wait (no atomics needed on the hot path,
@@ -186,12 +228,40 @@ func Run(g *stream.Graph, p *stream.Placement, c sim.Cluster, cfg Config) (Resul
 			ops := devOps[d]
 			pendingCap := 4 * cfg.BatchTuples
 			round := 0
+			crashed := false
 			for ctx.Err() == nil {
 				now := time.Now()
+				// Fault injection: a crashed device does nothing; its full
+				// input channels backpressure the rest of the graph.
+				if faults.deviceDown(d, now.Sub(start)) {
+					crashed = true
+					time.Sleep(200 * time.Microsecond)
+					continue
+				}
+				if crashed {
+					// Restart with empty state: queued tuples, residual
+					// output, NIC credits, and in-flight channel contents
+					// are lost, as they would be on a real machine.
+					for _, v := range ops {
+						pending[v] = 0
+						for _, ei := range g.OutEdges(v) {
+							residual[ei] = 0
+							bitCredit[ei] = 0
+						}
+						for _, ei := range g.InEdges(v) {
+							rcvCredit[ei] = 0
+							for drained := false; !drained; {
+								select {
+								case <-chans[ei]:
+								default:
+									drained = true
+								}
+							}
+						}
+					}
+					crashed = false
+				}
 				progress := false
-				// Rotate the scan order every round so no operator
-				// permanently starves its device-mates of CPU tokens.
-				round++
 				for oi := range ops {
 					v := ops[(oi+round)%len(ops)]
 					// Ingest: sources draw from their arrival bucket;
@@ -199,8 +269,12 @@ func Run(g *stream.Graph, p *stream.Placement, c sim.Cluster, cfg Config) (Resul
 					// (consuming ingress bandwidth for cross-device edges).
 					if isSource[v] && pending[v] < pendingCap {
 						got := srcBucket[v].take(cfg.BatchTuples, now)
-						if got > 0 {
-							pending[v] += got
+						pending[v] += got
+						// Sub-tuple grants accrue but are not "progress":
+						// counting them would busy-spin the device on an
+						// asymptotically full queue and starve every other
+						// goroutine when cores are scarce.
+						if got >= 1 {
 							progress = true
 						}
 					}
@@ -217,7 +291,8 @@ func Run(g *stream.Graph, p *stream.Placement, c sim.Cluster, cfg Config) (Resul
 								// so nothing is lost to over-reservation.
 								maxBits := cfg.BatchTuples * e.Payload
 								if rcvCredit[ei] < maxBits {
-									rcvCredit[ei] += ingress[d].take(maxBits-rcvCredit[ei], now)
+									got := ingress[d].take(maxBits-rcvCredit[ei], now)
+									rcvCredit[ei] += got
 								}
 								if rcvCredit[ei] < maxBits {
 									break // ingress NIC saturated; retry later
@@ -230,7 +305,9 @@ func Run(g *stream.Graph, p *stream.Placement, c sim.Cluster, cfg Config) (Resul
 									rcvCredit[ei] -= bt.tuples * e.Payload
 								}
 								pending[v] += bt.tuples
-								progress = true
+								if bt.tuples >= 1 {
+									progress = true
+								}
 								received = true
 							default:
 							}
@@ -271,7 +348,13 @@ func Run(g *stream.Graph, p *stream.Placement, c sim.Cluster, cfg Config) (Resul
 							// bottleneck across residuals + channel space.
 							out := did * g.Nodes[v].Selectivity
 							pending[v] -= did
-							progress = true
+							// Like ingestion, sub-tuple trickles are real
+							// work but not "progress": a source draining its
+							// own fractional grants would otherwise spin the
+							// device at full CPU forever.
+							if did >= 1 {
+								progress = true
+							}
 							if len(g.OutEdges(v)) == 0 {
 								if now.After(warmupDone) {
 									// Count *emitted* tuples (selectivity
@@ -289,8 +372,13 @@ func Run(g *stream.Graph, p *stream.Placement, c sim.Cluster, cfg Config) (Resul
 					// Flush residual output to channels, paying egress
 					// bandwidth for cross-device edges.
 					for _, ei := range g.OutEdges(v) {
-						if residual[ei] < cfg.BatchTuples && pending[v] > 0 {
-							continue // accumulate full batches while busy
+						if residual[ei] < cfg.BatchTuples {
+							e := g.Edges[ei]
+							costly := p.Assign[e.Src] != p.Assign[e.Dst] && e.Payload > 0
+							if pending[v] > 0 ||
+								(costly && now.Sub(lastSend[ei]) < partialFlushAfter) {
+								continue // accumulate full batches while busy
+							}
 						}
 						for residual[ei] > 0 {
 							send := residual[ei]
@@ -313,7 +401,12 @@ func Run(g *stream.Graph, p *stream.Placement, c sim.Cluster, cfg Config) (Resul
 							case chans[ei] <- batch{tuples: send}:
 								residual[ei] -= send
 								bitCredit[ei] -= cost
-								progress = true
+								lastSend[ei] = now
+								// Sub-tuple housekeeping sends are not
+								// "progress" either (see the ingest note).
+								if send >= 1 {
+									progress = true
+								}
 								sent = true
 							default:
 								// Backpressure: downstream full; credit and
@@ -325,12 +418,56 @@ func Run(g *stream.Graph, p *stream.Placement, c sim.Cluster, cfg Config) (Resul
 						}
 					}
 				}
-				if !progress {
-					// Idle: yield briefly instead of spinning.
-					time.Sleep(200 * time.Microsecond)
+				if progress {
+					// Rotate the scan order across productive rounds so no
+					// operator permanently drains the freshly-accrued CPU
+					// tokens first.
+					round++
+				} else {
+					// Idle: hand the processor to sibling goroutines instead
+					// of monopolizing it until the scheduler preempts us.
+					// Sleeping here would be wrong twice over: timer
+					// granularity (~1 ms or worse under load) is larger than
+					// the token-bucket burst horizon, so sleepers drop
+					// capacity on the floor, and token-rich wakeup rounds
+					// distort CPU sharing between device-mates. Gosched keeps
+					// every device polling at fine granularity while letting
+					// sleeping goroutines (and other devices) run on time.
+					goruntime.Gosched()
 				}
 			}
 		}(d)
+	}
+	// Link-fault controller: periodically recompute each device's
+	// bandwidth factor and retune the NIC buckets when it changes. The
+	// buckets' own mutexes make this safe against in-flight take calls.
+	if faults != nil && len(faults.links) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			current := make([]float64, c.Devices)
+			for d := range current {
+				current[d] = 1
+			}
+			ticker := time.NewTicker(time.Millisecond)
+			defer ticker.Stop()
+			for ctx.Err() == nil {
+				select {
+				case <-ctx.Done():
+					return
+				case now := <-ticker.C:
+					elapsed := now.Sub(start)
+					for d := 0; d < c.Devices; d++ {
+						f := faults.linkFactor(d, elapsed)
+						if f != current[d] {
+							current[d] = f
+							egress[d].setRate(c.Bandwidth*cfg.TimeScale*f, now)
+							ingress[d].setRate(c.Bandwidth*cfg.TimeScale*f, now)
+						}
+					}
+				}
+			}
+		}()
 	}
 	wg.Wait()
 
