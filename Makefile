@@ -1,6 +1,7 @@
 GO ?= go
+BENCH_OUT ?= BENCH_1
 
-.PHONY: build test check race vet bench
+.PHONY: build test check race vet bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -15,8 +16,19 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# Full pre-merge check: vet + race-detected tests.
-check: vet race
+# One iteration of every benchmark: catches benchmarks that panic or
+# regress into non-termination without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x .
 
+# Full pre-merge check: vet + race-detected tests + benchmark smoke run.
+check: vet race bench-smoke
+
+# Measured benchmark run. Writes the raw benchstat-consumable text to
+# $(BENCH_OUT).txt and a structured JSON report (same data, plus the raw
+# lines) to $(BENCH_OUT).json. Compare two runs with:
+#   make bench BENCH_OUT=before ... make bench BENCH_OUT=after
+#   benchstat before.txt after.txt
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -run=^$$ . | tee $(BENCH_OUT).txt
+	$(GO) run ./cmd/benchjson $(BENCH_OUT).txt > $(BENCH_OUT).json

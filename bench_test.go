@@ -43,6 +43,7 @@ func harness() *eval.Harness {
 func BenchmarkFig1MotivatingCDF(b *testing.B) {
 	h := harness()
 	h.Fig1() // train/cache models outside the timed loop
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Fig1()
@@ -52,6 +53,7 @@ func BenchmarkFig1MotivatingCDF(b *testing.B) {
 func BenchmarkTable1AUC(b *testing.B) {
 	h := harness()
 	h.Table1()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Table1()
@@ -61,6 +63,7 @@ func BenchmarkTable1AUC(b *testing.B) {
 func BenchmarkFig5MediumCDF(b *testing.B) {
 	h := harness()
 	h.Fig5()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Fig5()
@@ -70,6 +73,7 @@ func BenchmarkFig5MediumCDF(b *testing.B) {
 func BenchmarkFig6Generalize(b *testing.B) {
 	h := harness()
 	h.Fig6()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Fig6()
@@ -79,6 +83,7 @@ func BenchmarkFig6Generalize(b *testing.B) {
 func BenchmarkFig7Excess(b *testing.B) {
 	h := harness()
 	h.Fig7()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Fig7()
@@ -88,6 +93,7 @@ func BenchmarkFig7Excess(b *testing.B) {
 func BenchmarkFig8Compression(b *testing.B) {
 	h := harness()
 	h.Fig8()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Fig8()
@@ -97,6 +103,7 @@ func BenchmarkFig8Compression(b *testing.B) {
 func BenchmarkFig9Saturation(b *testing.B) {
 	h := harness()
 	h.Fig9()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Fig9()
@@ -106,6 +113,7 @@ func BenchmarkFig9Saturation(b *testing.B) {
 func BenchmarkTable2Ablation(b *testing.B) {
 	h := harness()
 	h.Table2()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Re-evaluate the cached best model's rows (ablation models are
@@ -118,6 +126,7 @@ func BenchmarkTable2Ablation(b *testing.B) {
 func BenchmarkTable3Inference(b *testing.B) {
 	h := harness()
 	h.Table3()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Table3()
@@ -127,6 +136,7 @@ func BenchmarkTable3Inference(b *testing.B) {
 func BenchmarkFig3Qualitative(b *testing.B) {
 	h := harness()
 	h.Fig3()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Fig3()
@@ -142,6 +152,7 @@ func BenchmarkSimulatorModes(b *testing.B) {
 	p := metis.Partition(g, metis.Options{Parts: c.Devices, Seed: 1})
 	p.Devices = c.Devices
 	b.Run("fluid", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := sim.Simulate(g, p, c); err != nil {
 				b.Fatal(err)
@@ -149,6 +160,7 @@ func BenchmarkSimulatorModes(b *testing.B) {
 		}
 	})
 	b.Run("iterative", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := sim.SimulateIterative(g, p, c); err != nil {
 				b.Fatal(err)
@@ -167,8 +179,16 @@ func BenchmarkMatMul(b *testing.B) {
 		x.RandUniform(rng, 1)
 		y.RandUniform(rng, 1)
 		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				tensor.MatMul(x, y)
+			}
+		})
+		b.Run(sizeName(n)+"-into", func(b *testing.B) {
+			b.ReportAllocs()
+			dst := tensor.New(n, n)
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulInto(x, y, dst)
 			}
 		})
 	}
@@ -197,8 +217,14 @@ func BenchmarkGNNEncode(b *testing.B) {
 		ps := nn.NewParamSet()
 		enc := gnn.NewEncoder(ps, "enc", 24, 2, rand.New(rand.NewSource(3)))
 		b.Run(size.name, func(b *testing.B) {
+			// Steady-state hot path exactly as the trainer runs it: one
+			// binder/tape reused across steps via Reset, with layer
+			// scratch and gradients recycled through the tensor arena.
+			binder := nn.NewBinder(autodiff.NewTape())
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				binder := nn.NewBinder(autodiff.NewTape())
+				binder.Reset()
 				enc.Encode(binder, f)
 			}
 		})
@@ -209,6 +235,7 @@ func BenchmarkMetisPartition(b *testing.B) {
 	c := sim.DefaultCluster(10, 1500)
 	cfg := gen.DefaultConfig(400, 500, 10_000, c)
 	g := gen.Generate(cfg, rand.New(rand.NewSource(4)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		metis.Partition(g, metis.Options{Parts: 10, Seed: int64(i)})
@@ -221,6 +248,7 @@ func BenchmarkCoarsenAllocate(b *testing.B) {
 	g := gen.Generate(cfg, rand.New(rand.NewSource(5)))
 	model := core.New(core.DefaultConfig())
 	pipe := &core.Pipeline{Model: model, Placer: placer.Metis{Seed: 1}}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pipe.Allocate(g, c)
@@ -230,6 +258,7 @@ func BenchmarkCoarsenAllocate(b *testing.B) {
 func BenchmarkGraphGeneration(b *testing.B) {
 	c := sim.DefaultCluster(10, 1500)
 	cfg := gen.DefaultConfig(400, 500, 10_000, c)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		gen.Generate(cfg, rand.New(rand.NewSource(int64(i))))
@@ -245,6 +274,7 @@ func BenchmarkCollapseAndExpand(b *testing.B) {
 	for i := range d {
 		d[i] = rng.Float64() < 0.3
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cm := stream.CollapseEdges(g, d)
@@ -259,6 +289,7 @@ func BenchmarkCollapseAndExpand(b *testing.B) {
 // (fluid vs discrete-event vs real concurrent runtime).
 func BenchmarkSimValidate(b *testing.B) {
 	h := harness()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h.SimValidate()
 	}
@@ -271,6 +302,7 @@ func BenchmarkSimulateDES(b *testing.B) {
 	g := gen.Generate(cfg, rand.New(rand.NewSource(9)))
 	p := metis.Partition(g, metis.Options{Parts: c.Devices, Seed: 1})
 	p.Devices = c.Devices
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.SimulateDES(g, p, c, sim.DefaultDESConfig()); err != nil {
@@ -287,6 +319,7 @@ func BenchmarkRuntimeExecution(b *testing.B) {
 	p.Devices = c.Devices
 	rtCfg := rtpkg.DefaultConfig()
 	rtCfg.WallTime = 60 * time.Millisecond
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := rtpkg.Run(g, p, c, rtCfg); err != nil {
@@ -302,11 +335,13 @@ func BenchmarkPartitionerAblation(b *testing.B) {
 	cfg := gen.DefaultConfig(400, 500, 10_000, c)
 	g := gen.Generate(cfg, rand.New(rand.NewSource(11)))
 	b.Run("kway", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			metis.Partition(g, metis.Options{Parts: 10, Seed: int64(i)})
 		}
 	})
 	b.Run("recursive-bisection", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			metis.PartitionRB(g, metis.Options{Parts: 10, Seed: int64(i)})
 		}

@@ -1,0 +1,138 @@
+// Command benchjson converts `go test -bench` output into a JSON report.
+// Each benchmark line is preserved verbatim in the record's "raw" field,
+// so the original benchstat-consumable text can be reconstructed from the
+// JSON (benchstat reads the standard bench text format; feed it the raw
+// lines or the .txt file `make bench` keeps alongside).
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. -benchmem ./... | benchjson > BENCH_1.json
+//	benchjson bench.txt > BENCH_1.json
+//	benchjson before.txt after.txt > BENCH_1.json   # {"before": …, "after": …}
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type record struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Raw         string  `json:"raw"`
+}
+
+type report struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func main() {
+	var out any
+	switch len(os.Args) {
+	case 1:
+		out = mustParse(os.Stdin)
+	case 2:
+		out = mustParseFile(os.Args[1])
+	case 3:
+		// Two files: a before/after comparison report.
+		out = map[string]*report{
+			"before": mustParseFile(os.Args[1]),
+			"after":  mustParseFile(os.Args[2]),
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchjson [bench.txt | before.txt after.txt] < bench-output")
+		os.Exit(2)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func mustParseFile(path string) *report {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	return mustParse(f)
+}
+
+func mustParse(in io.Reader) *report {
+	rep, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return rep
+}
+
+func parse(in io.Reader) (*report, error) {
+	rep := &report{Benchmarks: []record{}}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			r, ok := parseBenchLine(line)
+			if ok {
+				rep.Benchmarks = append(rep.Benchmarks, r)
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseBenchLine decodes one standard benchmark result line:
+//
+//	BenchmarkName-8   160   6831173 ns/op   35318 B/op   86 allocs/op
+func parseBenchLine(line string) (record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return record{}, false
+	}
+	r := record{Name: fields[0], Iterations: iters, Raw: line}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = val
+		case "B/op":
+			r.BytesPerOp = val
+		case "allocs/op":
+			r.AllocsPerOp = val
+		}
+	}
+	return r, true
+}

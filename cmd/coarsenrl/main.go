@@ -34,9 +34,14 @@ import (
 	"repro/internal/metis"
 	"repro/internal/nn"
 	"repro/internal/placer"
+	"repro/internal/prof"
 	"repro/internal/rl"
 	"repro/internal/sim"
 )
+
+// stopProf finalizes the pprof profiles; error exits call it explicitly
+// because os.Exit skips defers.
+var stopProf = func() {}
 
 func main() {
 	var (
@@ -55,8 +60,17 @@ func main() {
 		resume      = flag.Bool("resume", false, "restore training state from -checkpoint before training")
 		autosave    = flag.Int("autosave-every", 50, "autosave the checkpoint every N training steps (0 disables)")
 		deadline    = flag.Duration("deadline", 0, "stop training (checkpointing first) after this duration, e.g. 30m (0 = none)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	var err error
+	stopProf, err = prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	setting, err := gen.ByName(*settingName)
 	if err != nil {
@@ -171,6 +185,7 @@ func main() {
 // training failure). The trainer has already checkpointed if a
 // -checkpoint path was configured; the error says where.
 func exitInterrupted(err error) {
+	stopProf()
 	fmt.Fprintf(os.Stderr, "coarsenrl: %v\n", err)
 	fmt.Fprintln(os.Stderr, "rerun with -resume to continue from the saved state")
 	os.Exit(1)
@@ -205,6 +220,7 @@ func maxOf(a, b int) int {
 }
 
 func fatal(err error) {
+	stopProf()
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
 }

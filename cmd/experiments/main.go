@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -28,8 +29,16 @@ func main() {
 		seed   = flag.Int64("seed", 1, "random seed")
 		quiet  = flag.Bool("quiet", false, "suppress training progress")
 		plot   = flag.Bool("plot", false, "render ASCII CDF plots alongside the AUC tables")
+		cpup   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memp   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpup, *memp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	var b eval.Budget
 	switch *budget {
@@ -54,8 +63,10 @@ func main() {
 	}
 	start := time.Now()
 	if err := h.Run(ids...); err != nil {
+		stopProf()
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	stopProf()
 	fmt.Printf("completed %v in %v\n", ids, time.Since(start).Round(time.Second))
 }

@@ -14,6 +14,7 @@ package core
 import (
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/autodiff"
 	"repro/internal/gnn"
@@ -136,14 +137,25 @@ func (mo *Model) EdgeProbs(b *nn.Binder, f *gnn.Features) *autodiff.Node {
 	return mo.head.Apply(b, hEdge) // E×1, sigmoid
 }
 
-// Probs computes merge probabilities outside any training loop (its tape
-// is discarded).
+// fwdPool recycles binder+tape pairs across inference forward passes, so
+// repeated Probs calls (the allocation hot path of Pipeline.Allocate and
+// batch evaluation) reuse the node slab and arena-backed matrices instead
+// of rebuilding the tape from nothing. sync.Pool keeps this safe under
+// the parallel evaluation fan-out: each goroutine drives its own binder.
+var fwdPool = sync.Pool{
+	New: func() any { return nn.NewBinder(autodiff.NewTape()) },
+}
+
+// Probs computes merge probabilities outside any training loop (the
+// forward tape is pooled and recycled).
 func (mo *Model) Probs(g *stream.Graph, c sim.Cluster) []float64 {
 	f := gnn.BuildFeatures(g, c)
-	b := nn.NewBinder(autodiff.NewTape())
+	b := fwdPool.Get().(*nn.Binder)
+	b.Reset() // reclaim the previous forward pass's matrices
 	p := mo.EdgeProbs(b, f)
 	out := make([]float64, g.NumEdges())
 	copy(out, p.Value.Data)
+	fwdPool.Put(b)
 	return out
 }
 

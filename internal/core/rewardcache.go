@@ -1,0 +1,116 @@
+// rewardcache.go implements a bounded LRU memoization cache for simulated
+// rewards. The REINFORCE loop repeatedly scores (graph, decision) pairs
+// through the full coarsen → partition → simulate pipeline; because every
+// stage is deterministic, identical pairs always produce the identical
+// reward, so re-simulating a decision the policy has already visited
+// (duplicate on-policy samples once probabilities saturate, Metis-guided
+// seeds resampled by a confident policy) is pure waste. The cache key is
+// exact — the graph id plus the packed decision bitset, not a hash — so a
+// hit can never alias a different decision and the training trajectory
+// stays bit-identical with memoization enabled.
+package core
+
+import (
+	"container/list"
+	"encoding/binary"
+	"sync"
+)
+
+// RewardCache memoizes decision rewards with LRU eviction. It is safe for
+// concurrent use (sample scoring fans out across workers).
+type RewardCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	hits    uint64
+	misses  uint64
+}
+
+type rewardEntry struct {
+	key    string
+	reward float64
+}
+
+// NewRewardCache returns a cache bounded to capacity entries (minimum 1).
+func NewRewardCache(capacity int) *RewardCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RewardCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element, capacity),
+		order:   list.New(),
+	}
+}
+
+// DecisionKey packs (graph id, decision bitset) into an exact cache key:
+// the graph id and edge count as fixed-width prefixes, then one bit per
+// edge. Two distinct decisions can never collide.
+func DecisionKey(graph int, d Decision) string {
+	buf := make([]byte, 16+(len(d)+7)/8)
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(graph))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(d)))
+	for i, bit := range d {
+		if bit {
+			buf[16+i/8] |= 1 << (i % 8)
+		}
+	}
+	return string(buf)
+}
+
+// Get returns the memoized reward for key and whether it was present,
+// marking the entry most-recently-used on a hit.
+func (c *RewardCache) Get(key string) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return 0, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*rewardEntry).reward, true
+}
+
+// Put memoizes the reward for key, evicting the least-recently-used entry
+// when the cache is full.
+func (c *RewardCache) Put(key string, reward float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*rewardEntry).reward = reward
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*rewardEntry).key)
+	}
+	c.entries[key] = c.order.PushFront(&rewardEntry{key: key, reward: reward})
+}
+
+// Len returns the number of memoized entries.
+func (c *RewardCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *RewardCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Clear drops every entry (hit/miss counters are retained). Use when the
+// graph-id namespace changes meaning, e.g. between curriculum levels.
+func (c *RewardCache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	clear(c.entries)
+	c.order.Init()
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRewardCacheHitReturnsIdenticalValue(t *testing.T) {
+	c := NewRewardCache(8)
+	key := DecisionKey(3, Decision{true, false, true})
+	if _, ok := c.Get(key); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	c.Put(key, 0.123456789)
+	got, ok := c.Get(key)
+	if !ok || got != 0.123456789 {
+		t.Fatalf("Get = %g, %v", got, ok)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses", hits, misses)
+	}
+}
+
+func TestRewardCacheBoundedEviction(t *testing.T) {
+	c := NewRewardCache(4)
+	for i := 0; i < 10; i++ {
+		c.Put(DecisionKey(i, Decision{true}), float64(i))
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+	// The four most recent survive; earlier entries were evicted LRU.
+	for i := 0; i < 6; i++ {
+		if _, ok := c.Get(DecisionKey(i, Decision{true})); ok {
+			t.Fatalf("entry %d should have been evicted", i)
+		}
+	}
+	for i := 6; i < 10; i++ {
+		if v, ok := c.Get(DecisionKey(i, Decision{true})); !ok || v != float64(i) {
+			t.Fatalf("entry %d = %g, %v", i, v, ok)
+		}
+	}
+}
+
+func TestRewardCacheLRUOrder(t *testing.T) {
+	c := NewRewardCache(2)
+	ka := DecisionKey(0, Decision{true})
+	kb := DecisionKey(1, Decision{true})
+	kc := DecisionKey(2, Decision{true})
+	c.Put(ka, 1)
+	c.Put(kb, 2)
+	c.Get(ka)    // a becomes MRU
+	c.Put(kc, 3) // evicts b, the LRU
+	if _, ok := c.Get(kb); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := c.Get(ka); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+}
+
+// TestDecisionKeyExact verifies the key is collision-free: distinct
+// (graph, decision) pairs — including decisions that differ only in
+// length or only in one bit — map to distinct keys.
+func TestDecisionKeyExact(t *testing.T) {
+	seen := map[string]string{}
+	add := func(desc, key string) {
+		if prev, ok := seen[key]; ok {
+			t.Fatalf("key collision: %s vs %s", prev, desc)
+		}
+		seen[key] = desc
+	}
+	for graph := 0; graph < 3; graph++ {
+		for length := 0; length <= 9; length++ {
+			for mask := 0; mask < 1<<length; mask++ {
+				d := make(Decision, length)
+				for i := range d {
+					d[i] = mask&(1<<i) != 0
+				}
+				add(fmt.Sprintf("g%d len%d mask%d", graph, length, mask), DecisionKey(graph, d))
+			}
+		}
+	}
+}
+
+func TestRewardCacheClearKeepsCounters(t *testing.T) {
+	c := NewRewardCache(8)
+	k := DecisionKey(0, Decision{true})
+	c.Put(k, 1)
+	c.Get(k)
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", c.Len())
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("entry survived Clear")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("counters reset by Clear: %d hits, %d misses", hits, misses)
+	}
+	// The cache keeps working after Clear.
+	c.Put(k, 2)
+	if v, ok := c.Get(k); !ok || v != 2 {
+		t.Fatalf("post-Clear Get = %g, %v", v, ok)
+	}
+}
+
+func TestRewardCacheMinimumCapacity(t *testing.T) {
+	c := NewRewardCache(0)
+	c.Put(DecisionKey(0, Decision{true}), 1)
+	c.Put(DecisionKey(1, Decision{true}), 2)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}

@@ -83,18 +83,27 @@ func bisect(g *wgraph, nodes []int, base, parts int, assign []int, opts Options)
 // induced builds the subgraph of g on the given nodes (renumbered 0..m-1),
 // dropping edges that leave the node set.
 func induced(g *wgraph, nodes []int) *wgraph {
-	idx := make(map[int]int, len(nodes))
-	for i, v := range nodes {
-		idx[v] = i
+	idx := make([]int32, g.n())
+	for i := range idx {
+		idx[i] = -1
 	}
-	sub := newWGraph(len(nodes))
 	for i, v := range nodes {
-		sub.nw[i] = g.nw[v]
-		for u, w := range g.adj[v] {
-			if j, ok := idx[u]; ok && v < u {
-				sub.addEdge(i, j, w)
+		idx[v] = int32(i)
+	}
+	nw := make([]float64, len(nodes))
+	var eu, ev []int32
+	var ew []float64
+	for i, v := range nodes {
+		nw[i] = g.nw[v]
+		for k := g.off[v]; k < g.off[v+1]; k++ {
+			if u := int(g.nbr[k]); v < u {
+				if j := idx[u]; j >= 0 {
+					eu = append(eu, int32(i))
+					ev = append(ev, j)
+					ew = append(ew, g.w[k])
+				}
 			}
 		}
 	}
-	return sub
+	return buildWGraph(nw, eu, ev, ew)
 }

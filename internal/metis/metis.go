@@ -64,27 +64,20 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// wgraph is an undirected weighted graph in adjacency form. Parallel
-// edges are merged; self-loops are dropped.
+// wgraph is an undirected weighted graph in compressed sparse row form:
+// node v's neighbors are nbr[off[v]:off[v+1]] (ascending ids) with edge
+// weights in the parallel w slice. Parallel edges are merged and
+// self-loops dropped at construction. CSR replaces the earlier
+// map-per-node adjacency: it allocates four slices per graph instead of
+// one map per node (the dominant allocation source of the whole
+// coarsen→partition pipeline) and makes every neighbor iteration
+// deterministic, so matching and refinement no longer depend on map
+// iteration order.
 type wgraph struct {
 	nw  []float64
-	adj []map[int]float64 // neighbor → edge weight
-}
-
-func newWGraph(n int) *wgraph {
-	g := &wgraph{nw: make([]float64, n), adj: make([]map[int]float64, n)}
-	for i := range g.adj {
-		g.adj[i] = make(map[int]float64)
-	}
-	return g
-}
-
-func (g *wgraph) addEdge(u, v int, w float64) {
-	if u == v {
-		return
-	}
-	g.adj[u][v] += w
-	g.adj[v][u] += w
+	off []int32 // len n+1; node v's adjacency is [off[v], off[v+1])
+	nbr []int32
+	w   []float64
 }
 
 func (g *wgraph) n() int { return len(g.nw) }
@@ -97,15 +90,83 @@ func (g *wgraph) totalWeight() float64 {
 	return s
 }
 
+// buildWGraph assembles a CSR wgraph from undirected edge triples
+// (eu[i], ev[i], ew[i]). Self-loops are dropped and parallel edges
+// merged; each node's neighbor list ends up sorted ascending. The input
+// slices are not retained (nw is).
+func buildWGraph(nw []float64, eu, ev []int32, ew []float64) *wgraph {
+	n := len(nw)
+	// Degree count (both directions), then prefix-sum into offsets.
+	cnt := make([]int32, n+1)
+	for i := range eu {
+		if eu[i] != ev[i] {
+			cnt[eu[i]+1]++
+			cnt[ev[i]+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		cnt[v+1] += cnt[v]
+	}
+	total := cnt[n]
+	nbr := make([]int32, total)
+	w := make([]float64, total)
+	cur := make([]int32, n)
+	copy(cur, cnt[:n])
+	for i := range eu {
+		u, v := eu[i], ev[i]
+		if u == v {
+			continue
+		}
+		nbr[cur[u]], w[cur[u]] = v, ew[i]
+		cur[u]++
+		nbr[cur[v]], w[cur[v]] = u, ew[i]
+		cur[v]++
+	}
+	// Per-node: stable insertion sort by neighbor id (degrees are small;
+	// stability keeps duplicate-merge summation order deterministic),
+	// then compact parallel edges in place. The write cursor wp never
+	// overtakes the read cursor, so compaction is safe in one pass.
+	off := make([]int32, n+1)
+	var wp int32
+	var start int32
+	for v := 0; v < n; v++ {
+		end := cnt[v+1]
+		for i := start + 1; i < end; i++ {
+			nv, wv := nbr[i], w[i]
+			j := i
+			for j > start && nbr[j-1] > nv {
+				nbr[j], w[j] = nbr[j-1], w[j-1]
+				j--
+			}
+			nbr[j], w[j] = nv, wv
+		}
+		off[v] = wp
+		for i := start; i < end; i++ {
+			if wp > off[v] && nbr[wp-1] == nbr[i] {
+				w[wp-1] += w[i]
+			} else {
+				nbr[wp], w[wp] = nbr[i], w[i]
+				wp++
+			}
+		}
+		start = end
+	}
+	off[n] = wp
+	return &wgraph{nw: nw, off: off, nbr: nbr[:wp], w: w[:wp]}
+}
+
 // fromStream converts a stream graph into the undirected weighted form.
 func fromStream(g *stream.Graph) *wgraph {
-	wg := newWGraph(g.NumNodes())
-	copy(wg.nw, g.NodeLoad())
+	n := g.NumNodes()
+	nw := make([]float64, n)
+	copy(nw, g.NodeLoad())
 	traffic := g.EdgeTraffic()
+	eu := make([]int32, len(g.Edges))
+	ev := make([]int32, len(g.Edges))
 	for ei, e := range g.Edges {
-		wg.addEdge(e.Src, e.Dst, traffic[ei])
+		eu[ei], ev[ei] = int32(e.Src), int32(e.Dst)
 	}
-	return wg
+	return buildWGraph(nw, eu, ev, traffic)
 }
 
 // Partition assigns each operator of g to one of opts.Parts devices.
@@ -170,9 +231,9 @@ func heavyEdgeMatch(g *wgraph, rng *rand.Rand) (*wgraph, []int) {
 			continue
 		}
 		best, bestW := -1, -1.0
-		for u, w := range g.adj[v] {
-			if match[u] == -1 && w > bestW {
-				best, bestW = u, w
+		for i := g.off[v]; i < g.off[v+1]; i++ {
+			if u := int(g.nbr[i]); match[u] == -1 && g.w[i] > bestW {
+				best, bestW = u, g.w[i]
 			}
 		}
 		if best == -1 {
@@ -198,21 +259,26 @@ func heavyEdgeMatch(g *wgraph, rng *rand.Rand) (*wgraph, []int) {
 		}
 		next++
 	}
-	coarse := newWGraph(next)
+	cnw := make([]float64, next)
 	for v := 0; v < n; v++ {
-		coarse.nw[cmap[v]] += g.nw[v]
+		cnw[cmap[v]] += g.nw[v]
 	}
+	eu := make([]int32, 0, len(g.nbr)/2)
+	ev := make([]int32, 0, len(g.nbr)/2)
+	ew := make([]float64, 0, len(g.nbr)/2)
 	for v := 0; v < n; v++ {
-		for u, w := range g.adj[v] {
-			if v < u { // each undirected edge once
+		for i := g.off[v]; i < g.off[v+1]; i++ {
+			if u := int(g.nbr[i]); v < u { // each undirected edge once
 				cu, cv := cmap[v], cmap[u]
 				if cu != cv {
-					coarse.addEdge(cu, cv, w)
+					eu = append(eu, int32(cu))
+					ev = append(ev, int32(cv))
+					ew = append(ew, g.w[i])
 				}
 			}
 		}
 	}
-	return coarse, cmap
+	return buildWGraph(cnw, eu, ev, ew), cmap
 }
 
 // initialPartition greedily assigns the coarsest nodes: heaviest first,
@@ -229,12 +295,15 @@ func initialPartition(g *wgraph, opts Options, rng *rand.Rand) []int {
 	}
 	sort.Slice(order, func(a, b int) bool { return g.nw[order[a]] > g.nw[order[b]] })
 	loads := make([]float64, opts.Parts)
+	gain := make([]float64, opts.Parts) // reused across nodes
 	for _, v := range order {
 		// Connectivity gain toward each part.
-		gain := make([]float64, opts.Parts)
-		for u, w := range g.adj[v] {
-			if part[u] >= 0 {
-				gain[part[u]] += w
+		for p := range gain {
+			gain[p] = 0
+		}
+		for i := g.off[v]; i < g.off[v+1]; i++ {
+			if pu := part[g.nbr[i]]; pu >= 0 {
+				gain[pu] += g.w[i]
 			}
 		}
 		best, bestScore := 0, math.Inf(-1)
@@ -271,22 +340,27 @@ func refine(g *wgraph, part []int, opts Options, rng *rand.Rand) {
 	for i := range order {
 		order[i] = i
 	}
+	conn := make([]float64, opts.Parts) // reused across nodes
 	for pass := 0; pass < opts.RefinePasses; pass++ {
 		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 		improved := false
 		for _, v := range order {
 			from := part[v]
-			// Connectivity of v toward each part.
-			conn := make(map[int]float64, 4)
-			for u, w := range g.adj[v] {
-				conn[part[u]] += w
+			// Connectivity of v toward each part (dense reusable buffer;
+			// zero entries yield gain ≤ 0 and so never win the strict
+			// comparison below, matching the old sparse behavior).
+			for p := range conn {
+				conn[p] = 0
+			}
+			for i := g.off[v]; i < g.off[v+1]; i++ {
+				conn[part[g.nbr[i]]] += g.w[i]
 			}
 			bestPart, bestGain := from, 0.0
-			for p, c := range conn {
+			for p := 0; p < opts.Parts; p++ {
 				if p == from {
 					continue
 				}
-				gain := c - conn[from]
+				gain := conn[p] - conn[from]
 				if gain > bestGain && loads[p]+g.nw[v] <= maxLoad[p] {
 					bestPart, bestGain = p, gain
 				}

@@ -117,6 +117,16 @@ func (b *Binder) Node(p *Param) *autodiff.Node {
 // Collect accumulates tape gradients into every bound parameter.
 func (b *Binder) Collect() { AccumulateFromTape(b.nodes) }
 
+// Reset recycles the binder for the next training step: the tape's node
+// slab and arena-backed matrices are reclaimed (autodiff.Tape.Reset) and
+// the parameter→leaf map is cleared in place, so a reused binder performs
+// no steady-state allocations. Matrices previously read off the tape
+// (values or gradients) must not be used after Reset.
+func (b *Binder) Reset() {
+	b.Tape.Reset()
+	clear(b.nodes)
+}
+
 // Adam is the Adam optimizer (Kingma & Ba, 2014) with optional gradient
 // clipping by global norm.
 type Adam struct {

@@ -1,0 +1,51 @@
+// Package prof wires the standard pprof profilers behind the -cpuprofile
+// and -memprofile flags shared by the command-line tools. Profiles are
+// written in the format `go tool pprof` consumes, so a training or
+// experiment run can be inspected directly:
+//
+//	coarsenrl -mode train -cpuprofile cpu.out ... && go tool pprof cpu.out
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpuPath is non-empty and returns a stop
+// function that finalizes both profiles. Call stop on every exit path —
+// including error exits, since os.Exit skips deferred calls. The heap
+// profile is written at stop time after a forced GC so it reflects live
+// retained memory rather than transient garbage.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prof: create mem profile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: write mem profile: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
+}

@@ -1,0 +1,178 @@
+package rl
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/placer"
+)
+
+func TestScoreDecisionMemoizes(t *testing.T) {
+	ds, m, pipe := quickSetup(t, 1)
+	tr := NewTrainer(DefaultConfig(), m, pipe)
+	g := ds.Train[0]
+	d := make(core.Decision, g.NumEdges())
+	for i := range d {
+		d[i] = i%3 == 0
+	}
+	r1 := tr.scoreDecision(0, g, ds.Cluster, d)
+	r2 := tr.scoreDecision(0, g, ds.Cluster, d)
+	if r1 != r2 {
+		t.Fatalf("memoized reward differs: %g vs %g", r1, r2)
+	}
+	hits, misses := tr.Rewards.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses, want 1/1", hits, misses)
+	}
+	// A different decision must miss (exact keys, no collisions).
+	d[0] = !d[0]
+	tr.scoreDecision(0, g, ds.Cluster, d)
+	if h, ms := tr.Rewards.Stats(); h != 1 || ms != 2 {
+		t.Fatalf("stats after distinct decision = %d hits, %d misses", h, ms)
+	}
+}
+
+func TestNegativeRewardCacheSizeDisablesMemoization(t *testing.T) {
+	_, m, pipe := quickSetup(t, 1)
+	cfg := DefaultConfig()
+	cfg.RewardCacheSize = -1
+	tr := NewTrainer(cfg, m, pipe)
+	if tr.Rewards != nil {
+		t.Fatal("negative RewardCacheSize should disable the cache")
+	}
+}
+
+// TestMemoizationPreservesTrajectory trains the same setup with the cache
+// enabled and disabled: because cache keys are exact and scoring consumes
+// no trainer randomness, the training trajectory must be bit-identical.
+func TestMemoizationPreservesTrajectory(t *testing.T) {
+	run := func(cacheSize int) ([]float64, []float64) {
+		s := gen.Medium5K()
+		s.TrainN, s.TestN = 2, 2
+		s.Config.MinNodes, s.Config.MaxNodes = 30, 50
+		ds := s.Generate()
+		cfg := core.DefaultConfig()
+		cfg.Hidden, cfg.EdgeDim, cfg.MergeDim = 6, 3, 6
+		m := core.New(cfg)
+		pipe := &core.Pipeline{Model: m, Placer: placer.Metis{Seed: 1}}
+		tcfg := DefaultConfig()
+		tcfg.PretrainEpochs, tcfg.Epochs = 2, 3
+		tcfg.Quiet = true
+		tcfg.RewardCacheSize = cacheSize
+		tr := NewTrainer(tcfg, m, pipe)
+		tr.TrainOn(ds.Train, ds.Cluster)
+		return tr.History, Evaluate(pipe, ds.Test, ds.Cluster)
+	}
+	histOn, evalOn := run(0)    // default-sized cache
+	histOff, evalOff := run(-1) // memoization disabled
+	for i := range histOn {
+		if histOn[i] != histOff[i] {
+			t.Fatalf("epoch %d history diverged with memoization: %g vs %g", i, histOn[i], histOff[i])
+		}
+	}
+	for i := range evalOn {
+		if evalOn[i] != evalOff[i] {
+			t.Fatalf("eval %d diverged with memoization: %g vs %g", i, evalOn[i], evalOff[i])
+		}
+	}
+}
+
+// TestStepSkipsUpdateWhenAllRewardsNonFinite forces every on-policy
+// sample to score NaN (by poisoning the memoization cache) and verifies
+// the step neither crashes nor moves the parameters: with no finite
+// sample and an empty buffer there is nothing to learn from.
+func TestStepSkipsUpdateWhenAllRewardsNonFinite(t *testing.T) {
+	s := gen.Medium5K()
+	s.TrainN, s.TestN = 1, 1
+	s.Config.MinNodes, s.Config.MaxNodes = 4, 6 // few edges → enumerable decisions
+	ds := s.Generate()
+	cfg := core.DefaultConfig()
+	cfg.Hidden, cfg.EdgeDim, cfg.MergeDim = 6, 3, 6
+	m := core.New(cfg)
+	pipe := &core.Pipeline{Model: m, Placer: placer.Metis{Seed: 1}}
+	tcfg := DefaultConfig()
+	tcfg.Quiet = true
+	tr := NewTrainer(tcfg, m, pipe)
+
+	g := ds.Train[0]
+	ne := g.NumEdges()
+	if ne > 12 {
+		t.Skipf("generated graph has %d edges; too many to enumerate", ne)
+	}
+	for mask := 0; mask < 1<<ne; mask++ {
+		d := make(core.Decision, ne)
+		for i := range d {
+			d[i] = mask&(1<<i) != 0
+		}
+		tr.Rewards.Put(core.DecisionKey(0, d), math.NaN())
+	}
+
+	before := m.Probs(g, ds.Cluster)
+	r, err := tr.step(0, g, ds.Cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Fatalf("on-policy mean with no finite sample = %g, want 0", r)
+	}
+	after := m.Probs(g, ds.Cluster)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("parameters moved on an all-NaN batch: prob[%d] %g → %g", i, before[i], after[i])
+		}
+	}
+	if len(tr.buffer[0]) != 0 {
+		t.Fatalf("non-finite samples admitted to buffer: %v", tr.buffer[0])
+	}
+}
+
+// TestStepFiltersNonFiniteFromBaseline poisons a strict subset of the
+// decision space and checks the step still learns from the finite
+// remainder without the baseline or loss going non-finite.
+func TestStepFiltersNonFiniteFromBaseline(t *testing.T) {
+	s := gen.Medium5K()
+	s.TrainN, s.TestN = 1, 1
+	s.Config.MinNodes, s.Config.MaxNodes = 4, 6
+	ds := s.Generate()
+	cfg := core.DefaultConfig()
+	cfg.Hidden, cfg.EdgeDim, cfg.MergeDim = 6, 3, 6
+	m := core.New(cfg)
+	pipe := &core.Pipeline{Model: m, Placer: placer.Metis{Seed: 1}}
+	tcfg := DefaultConfig()
+	tcfg.Quiet = true
+	tr := NewTrainer(tcfg, m, pipe)
+
+	g := ds.Train[0]
+	ne := g.NumEdges()
+	if ne > 12 {
+		t.Skipf("generated graph has %d edges; too many to enumerate", ne)
+	}
+	// Poison the odd half of the decision space: samples landing there
+	// score NaN, the rest stay finite.
+	for mask := 0; mask < 1<<ne; mask++ {
+		if mask%2 == 0 {
+			continue
+		}
+		d := make(core.Decision, ne)
+		for i := range d {
+			d[i] = mask&(1<<i) != 0
+		}
+		tr.Rewards.Put(core.DecisionKey(0, d), math.NaN())
+	}
+	if _, err := tr.step(0, g, ds.Cluster); err != nil {
+		t.Fatal(err)
+	}
+	probs := m.Probs(g, ds.Cluster)
+	for i, p := range probs {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("prob[%d] non-finite after partially poisoned step: %g", i, p)
+		}
+	}
+	for _, b := range tr.buffer[0] {
+		if !isFinite(b.reward) {
+			t.Fatalf("non-finite reward in buffer: %g", b.reward)
+		}
+	}
+}

@@ -71,6 +71,12 @@ type Config struct {
 	// = one graph visit). 0 disables periodic autosave; interruption
 	// still checkpoints when CheckpointPath is set.
 	AutosaveEvery int
+	// RewardCacheSize bounds the reward-memoization LRU (entries). 0
+	// selects the default (4096); negative disables memoization. The
+	// cache is an exact-key memo of the deterministic coarsen → partition
+	// → simulate pipeline, so it never changes the training trajectory —
+	// only how often the pipeline actually runs.
+	RewardCacheSize int
 	// Quiet suppresses progress logging.
 	Quiet bool
 	// Logf receives progress lines when non-nil (and Quiet is false).
@@ -138,11 +144,19 @@ type Trainer struct {
 	// Divergences counts guard-triggered rollbacks.
 	Divergences int
 
+	// Rewards memoizes decision rewards across steps (nil when disabled).
+	// Hit/miss counters are exported via Rewards.Stats().
+	Rewards *core.RewardCache
+
 	// buffer holds the best historical samples per training-graph index.
 	buffer map[int][]scored
 	pcg    *randv2.PCG
 	rng    *randv2.Rand
 	steps  int // total REINFORCE steps taken (drives autosave cadence)
+
+	// fwd is the reusable forward binder: one tape whose node slab and
+	// arena-backed matrices are recycled every step (reset-on-acquire).
+	fwd *nn.Binder
 
 	lastGood *goodState
 
@@ -156,15 +170,50 @@ func NewTrainer(cfg Config, model *core.Model, pipe *core.Pipeline) *Trainer {
 		panic("rl: pipeline must wrap the trained model")
 	}
 	pcg := randv2.NewPCG(uint64(cfg.Seed), 0x9E3779B97F4A7C15)
+	var cache *core.RewardCache
+	if cfg.RewardCacheSize >= 0 {
+		size := cfg.RewardCacheSize
+		if size == 0 {
+			size = 4096
+		}
+		cache = core.NewRewardCache(size)
+	}
 	return &Trainer{
 		Cfg:      cfg,
 		Model:    model,
 		Pipeline: pipe,
 		Opt:      nn.NewAdam(cfg.LR),
+		Rewards:  cache,
 		buffer:   make(map[int][]scored),
 		pcg:      pcg,
 		rng:      randv2.New(pcg),
+		fwd:      nn.NewBinder(autodiff.NewTape()),
 	}
+}
+
+// forward returns the trainer's reusable binder, recycled for a fresh
+// step: reset-on-acquire returns the previous step's matrices to the
+// arena only after everything read from them has been consumed.
+func (t *Trainer) forward() *nn.Binder {
+	t.fwd.Reset()
+	return t.fwd
+}
+
+// scoreDecision evaluates one decision's reward through the pipeline,
+// memoized on (graph id, exact decision bitset). Safe for concurrent use.
+func (t *Trainer) scoreDecision(gi int, g *stream.Graph, cluster sim.Cluster, d core.Decision) float64 {
+	if t.Rewards == nil {
+		alloc := t.Pipeline.AllocateDecision(g, cluster, d)
+		return sim.Reward(g, alloc.Placement, cluster)
+	}
+	key := core.DecisionKey(gi, d)
+	if r, ok := t.Rewards.Get(key); ok {
+		return r
+	}
+	alloc := t.Pipeline.AllocateDecision(g, cluster, d)
+	r := sim.Reward(g, alloc.Placement, cluster)
+	t.Rewards.Put(key, r)
+	return r
 }
 
 func (t *Trainer) logf(format string, args ...any) {
@@ -186,8 +235,7 @@ func (t *Trainer) SeedMetisGuided(graphs []*stream.Graph, cluster sim.Cluster) e
 		mp := metis.Partition(g, metis.Options{Parts: cluster.Devices, Seed: t.Cfg.Seed})
 		mp.Devices = cluster.Devices
 		d := core.Decision(metis.InferCollapsedEdges(g, mp))
-		alloc := t.Pipeline.AllocateDecision(g, cluster, d)
-		return scored{d: d, reward: sim.Reward(g, alloc.Placement, cluster), guided: true}, nil
+		return scored{d: d, reward: t.scoreDecision(i, g, cluster, d), guided: true}, nil
 	})
 	if err != nil {
 		return fmt.Errorf("rl: metis seeding failed: %w", err)
@@ -202,8 +250,8 @@ func (t *Trainer) SeedMetisGuided(graphs []*stream.Graph, cluster sim.Cluster) e
 // step trains on one graph and returns the mean on-policy reward.
 func (t *Trainer) step(gi int, g *stream.Graph, cluster sim.Cluster) (float64, error) {
 	f := gnn.BuildFeatures(g, cluster)
-	tape := autodiff.NewTape()
-	binder := nn.NewBinder(tape)
+	binder := t.forward()
+	tape := binder.Tape
 	probs := t.Model.EdgeProbs(binder, f)
 
 	// Draw on-policy samples from the current probabilities.
@@ -217,12 +265,12 @@ func (t *Trainer) step(gi int, g *stream.Graph, cluster sim.Cluster) (float64, e
 		}
 		samples[s] = scored{d: d}
 	}
-	// Evaluate rewards in parallel (coarsen → partition → simulate). A
-	// panic in one worker surfaces here as an error; sibling samples are
-	// still scored.
+	// Evaluate rewards in parallel (coarsen → partition → simulate),
+	// memoized on the exact decision bitset so a duplicate sample skips
+	// the pipeline entirely. A panic in one worker surfaces here as an
+	// error; sibling samples are still scored.
 	if err := resilience.ForEach(n, 0, func(s int) error {
-		alloc := t.Pipeline.AllocateDecision(g, cluster, samples[s].d)
-		samples[s].reward = sim.Reward(g, alloc.Placement, cluster)
+		samples[s].reward = t.scoreDecision(gi, g, cluster, samples[s].d)
 		return nil
 	}); err != nil {
 		return 0, fmt.Errorf("rl: sample scoring on graph %d failed: %w", gi, err)
@@ -239,13 +287,28 @@ func (t *Trainer) step(gi int, g *stream.Graph, cluster sim.Cluster) (float64, e
 		onPolicyMean /= float64(finiteN)
 	}
 
-	// Mix in buffered best samples.
+	// Mix in buffered best samples. Non-finite on-policy rewards are
+	// excluded from the whole batch — not just the on-policy mean — so a
+	// single NaN/Inf sample cannot poison the baseline, the reward spread,
+	// or the loss (buffered entries are always finite by construction).
 	buf := t.buffer[gi]
 	take := t.Cfg.BufferSamples
 	if take > len(buf) {
 		take = len(buf)
 	}
-	batch := append(append([]scored(nil), samples...), buf[:take]...)
+	batch := make([]scored, 0, len(samples)+take)
+	for _, s := range samples {
+		if isFinite(s.reward) {
+			batch = append(batch, s)
+		}
+	}
+	batch = append(batch, buf[:take]...)
+	if len(batch) == 0 {
+		// Every sample diverged and the buffer is empty: skip the update
+		// rather than feed NaNs to the optimizer.
+		t.updateBuffer(gi, samples)
+		return onPolicyMean, nil
+	}
 
 	// Baseline: mean reward across the batch; advantages are normalized by
 	// the batch reward spread so the gradient scale stays useful even when
@@ -410,8 +473,8 @@ func (t *Trainer) PretrainGuidedCtx(ctx context.Context, graphs []*stream.Graph,
 		}
 		for i, g := range graphs {
 			f := gnn.BuildFeatures(g, cluster)
-			tape := autodiff.NewTape()
-			binder := nn.NewBinder(tape)
+			binder := t.forward()
+			tape := binder.Tape
 			probs := t.Model.EdgeProbs(binder, f)
 			loss := core.LogProbLoss(binder, probs, targets[i], 1/float64(g.NumEdges()))
 			t.Model.PS.ZeroGrads()
@@ -487,7 +550,13 @@ func (t *Trainer) TrainOnCtx(ctx context.Context, graphs []*stream.Graph, cluste
 		t.Pos.Step = 0
 		t.Pos.Order = nil
 		t.Pos.RewardSum = 0
-		t.logf("rl: epoch %d/%d mean on-policy reward %.4f", epoch+1, t.Cfg.Epochs, mean)
+		if t.Rewards != nil {
+			hits, misses := t.Rewards.Stats()
+			t.logf("rl: epoch %d/%d mean on-policy reward %.4f (reward cache: %d hits, %d misses)",
+				epoch+1, t.Cfg.Epochs, mean, hits, misses)
+		} else {
+			t.logf("rl: epoch %d/%d mean on-policy reward %.4f", epoch+1, t.Cfg.Epochs, mean)
+		}
 	}
 	// Dataset pass complete: clear the epoch cursor so a subsequent
 	// TrainOn (fine-tuning on new data) starts a fresh pass while the
@@ -515,6 +584,11 @@ func (t *Trainer) halt(cause error) error {
 func (t *Trainer) ResetBuffers() {
 	t.buffer = make(map[int][]scored)
 	t.Pos = Progress{Level: t.Pos.Level}
+	if t.Rewards != nil {
+		// Graph ids index into the new dataset now; stale memoized rewards
+		// would alias across levels.
+		t.Rewards.Clear()
+	}
 }
 
 // Level is one curriculum stage (§IV-C): a dataset plus epochs to train.

@@ -1,0 +1,59 @@
+// arena.go implements a size-classed scratch arena for matrices on the
+// training hot path. Every matrix of the same element count shares one
+// sync.Pool, so a reused buffer is recycled across goroutines without a
+// global lock and is dropped by the GC under memory pressure (sync.Pool
+// semantics) rather than pinned forever.
+//
+// Ownership discipline: a matrix obtained from Get is owned by the caller
+// until Put; after Put the buffer may be handed to any other Get of the
+// same element count, so retaining a reference past Put is an aliasing
+// bug. The autodiff tape is the main client — it allocates every op
+// output and gradient here and returns them in Tape.Reset.
+package tensor
+
+import "sync"
+
+// pools maps an element count to the pool of matrices with exactly that
+// backing-slice length. Shapes with equal element counts (2×6 and 3×4)
+// share a class; Get reshapes the header.
+var pools sync.Map // int → *sync.Pool
+
+func poolFor(n int) *sync.Pool {
+	if p, ok := pools.Load(n); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := pools.LoadOrStore(n, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+// Get returns a rows×cols matrix from the arena. The contents are
+// UNSPECIFIED (stale data from a previous user); callers must fully
+// overwrite it or use GetZeroed. Return it with Put when done.
+func Get(rows, cols int) *Matrix {
+	n := rows * cols
+	if n <= 0 {
+		return New(rows, cols)
+	}
+	if v := poolFor(n).Get(); v != nil {
+		m := v.(*Matrix)
+		m.Rows, m.Cols = rows, cols
+		return m
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, n)}
+}
+
+// GetZeroed returns a zeroed rows×cols matrix from the arena.
+func GetZeroed(rows, cols int) *Matrix {
+	m := Get(rows, cols)
+	m.Zero()
+	return m
+}
+
+// Put returns a matrix to the arena. m must not be used afterwards. nil
+// and empty matrices are ignored, so Put is safe on any Get result.
+func Put(m *Matrix) {
+	if m == nil || len(m.Data) == 0 {
+		return
+	}
+	poolFor(len(m.Data)).Put(m)
+}

@@ -1,0 +1,341 @@
+// into.go provides destination-passing variants of the hot kernels. Each
+// …Into fully defines dst (no kernel reads stale dst contents), so a dst
+// obtained from the arena's Get — whose contents are unspecified — is
+// always safe. The allocating kernels in tensor.go delegate here.
+//
+// Element-wise kernels (AddInto, SubInto, MulInto, ScaleInto, ApplyInto,
+// AddRowVectorInto) permit dst to alias an input. The matrix-product
+// kernels do not: dst must not overlap a or b.
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// MatMulInto computes a·b into dst (a.Rows×b.Cols) and returns dst.
+func MatMulInto(a, b, dst *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	mustShape("matmul dst", dst, a.Rows, b.Cols)
+	work := a.Rows * a.Cols * b.Cols
+	rowRange := func(lo, hi int) {
+		// ikj loop order: streams through b rows, vectorization friendly.
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+			orow := dst.Data[i*b.Cols : (i+1)*b.Cols]
+			for j := range orow {
+				orow[j] = 0
+			}
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+	if work < parallelThreshold {
+		rowRange(0, a.Rows)
+		return dst
+	}
+	chunks := parallel.ChunkRanges(a.Rows, parallel.DefaultWorkers())
+	parallel.ForEach(len(chunks), 0, func(c int) {
+		rowRange(chunks[c][0], chunks[c][1])
+	})
+	return dst
+}
+
+// MatMulT1Into computes aᵀ·b into dst (a.Cols×b.Cols) and returns dst.
+// Large shapes are row-blocked over dst rows, so every output row is
+// owned by exactly one worker and the per-row accumulation order matches
+// the serial kernel bit-for-bit.
+func MatMulT1Into(a, b, dst *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulT1 shape mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	mustShape("matmulT1 dst", dst, a.Cols, b.Cols)
+	work := a.Rows * a.Cols * b.Cols
+	colRange := func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			orow := dst.Data[k*b.Cols : (k+1)*b.Cols]
+			for j := range orow {
+				orow[j] = 0
+			}
+		}
+		for i := 0; i < a.Rows; i++ {
+			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+			brow := b.Data[i*b.Cols : (i+1)*b.Cols]
+			for k := lo; k < hi; k++ {
+				av := arow[k]
+				if av == 0 {
+					continue
+				}
+				orow := dst.Data[k*b.Cols : (k+1)*b.Cols]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+	if work < parallelThreshold {
+		colRange(0, a.Cols)
+		return dst
+	}
+	chunks := parallel.ChunkRanges(a.Cols, parallel.DefaultWorkers())
+	parallel.ForEach(len(chunks), 0, func(c int) {
+		colRange(chunks[c][0], chunks[c][1])
+	})
+	return dst
+}
+
+// MatMulT2Into computes a·bᵀ into dst (a.Rows×b.Rows) and returns dst.
+func MatMulT2Into(a, b, dst *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulT2 shape mismatch %dx%d · %dx%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	mustShape("matmulT2 dst", dst, a.Rows, b.Rows)
+	work := a.Rows * a.Cols * b.Rows
+	rowRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+			orow := dst.Data[i*b.Rows : (i+1)*b.Rows]
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+				var s float64
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				orow[j] = s
+			}
+		}
+	}
+	if work < parallelThreshold {
+		rowRange(0, a.Rows)
+		return dst
+	}
+	chunks := parallel.ChunkRanges(a.Rows, parallel.DefaultWorkers())
+	parallel.ForEach(len(chunks), 0, func(c int) {
+		rowRange(chunks[c][0], chunks[c][1])
+	})
+	return dst
+}
+
+// AddInto computes a+b into dst (dst may alias a or b) and returns dst.
+func AddInto(a, b, dst *Matrix) *Matrix {
+	mustSameShape("add", a, b)
+	mustShape("add dst", dst, a.Rows, a.Cols)
+	for i, v := range a.Data {
+		dst.Data[i] = v + b.Data[i]
+	}
+	return dst
+}
+
+// SubInto computes a-b into dst (dst may alias a or b) and returns dst.
+func SubInto(a, b, dst *Matrix) *Matrix {
+	mustSameShape("sub", a, b)
+	mustShape("sub dst", dst, a.Rows, a.Cols)
+	for i, v := range a.Data {
+		dst.Data[i] = v - b.Data[i]
+	}
+	return dst
+}
+
+// MulInto computes the Hadamard product a⊙b into dst (dst may alias a or
+// b) and returns dst.
+func MulInto(a, b, dst *Matrix) *Matrix {
+	mustSameShape("mul", a, b)
+	mustShape("mul dst", dst, a.Rows, a.Cols)
+	for i, v := range a.Data {
+		dst.Data[i] = v * b.Data[i]
+	}
+	return dst
+}
+
+// ScaleInto computes a·s into dst (dst may alias a) and returns dst.
+func ScaleInto(a *Matrix, s float64, dst *Matrix) *Matrix {
+	mustShape("scale dst", dst, a.Rows, a.Cols)
+	for i, v := range a.Data {
+		dst.Data[i] = v * s
+	}
+	return dst
+}
+
+// AddRowVectorInto computes a + broadcast(v) into dst (dst may alias a)
+// and returns dst. v is 1×a.Cols.
+func AddRowVectorInto(a, v, dst *Matrix) *Matrix {
+	if v.Rows != 1 || v.Cols != a.Cols {
+		panic(fmt.Sprintf("tensor: add-row-vector shape mismatch %dx%d + %dx%d", a.Rows, a.Cols, v.Rows, v.Cols))
+	}
+	mustShape("add-row-vector dst", dst, a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := dst.Row(i)
+		for j, av := range arow {
+			orow[j] = av + v.Data[j]
+		}
+	}
+	return dst
+}
+
+// ApplyInto maps f over every element of a into dst (dst may alias a) and
+// returns dst.
+func ApplyInto(a *Matrix, f func(float64) float64, dst *Matrix) *Matrix {
+	mustShape("apply dst", dst, a.Rows, a.Cols)
+	for i, v := range a.Data {
+		dst.Data[i] = f(v)
+	}
+	return dst
+}
+
+// GatherRowsInto copies a.Row(idx[i]) into dst.Row(i) and returns dst.
+func GatherRowsInto(a *Matrix, idx []int, dst *Matrix) *Matrix {
+	mustShape("gather dst", dst, len(idx), a.Cols)
+	for i, r := range idx {
+		if r < 0 || r >= a.Rows {
+			panic(fmt.Sprintf("tensor: gather row %d out of range [0,%d)", r, a.Rows))
+		}
+		copy(dst.Row(i), a.Row(r))
+	}
+	return dst
+}
+
+// SegmentMeanInto averages the rows of a per segment id into dst
+// (segments×a.Cols) and returns dst. Large inputs are parallelized over
+// segment blocks: every dst row is owned by one worker and members are
+// accumulated in ascending row order, so the result is bit-identical to
+// the serial kernel.
+func SegmentMeanInto(a *Matrix, seg []int, segments int, dst *Matrix) *Matrix {
+	if len(seg) != a.Rows {
+		panic("tensor: segment-mean index length mismatch")
+	}
+	mustShape("segment-mean dst", dst, segments, a.Cols)
+	for _, s := range seg {
+		if s < 0 || s >= segments {
+			panic(fmt.Sprintf("tensor: segment id %d out of range [0,%d)", s, segments))
+		}
+	}
+	if a.Rows*a.Cols < parallelThreshold {
+		dst.Zero()
+		counts := Get(1, segments)
+		cd := counts.Data
+		for i := range cd {
+			cd[i] = 0
+		}
+		for i, s := range seg {
+			cd[s]++
+			orow := dst.Row(s)
+			arow := a.Row(i)
+			for j, v := range arow {
+				orow[j] += v
+			}
+		}
+		for s := 0; s < segments; s++ {
+			if cd[s] == 0 {
+				continue
+			}
+			inv := 1 / cd[s]
+			orow := dst.Row(s)
+			for j := range orow {
+				orow[j] *= inv
+			}
+		}
+		Put(counts)
+		return dst
+	}
+	// Parallel path: bucket member rows per segment (counting sort keeps
+	// them in ascending row order), then fan out over segment blocks.
+	offs, members := bucketByKey(seg, segments)
+	chunks := parallel.ChunkRanges(segments, parallel.DefaultWorkers())
+	parallel.ForEach(len(chunks), 0, func(c int) {
+		for s := chunks[c][0]; s < chunks[c][1]; s++ {
+			orow := dst.Row(s)
+			for j := range orow {
+				orow[j] = 0
+			}
+			lo, hi := offs[s], offs[s+1]
+			if lo == hi {
+				continue
+			}
+			for _, i := range members[lo:hi] {
+				arow := a.Row(int(i))
+				for j, v := range arow {
+					orow[j] += v
+				}
+			}
+			inv := 1 / float64(hi-lo)
+			for j := range orow {
+				orow[j] *= inv
+			}
+		}
+	})
+	return dst
+}
+
+// ScatterAddRowsPar adds each row i of src into dst.Row(idx[i]), fanning
+// out over destination-row blocks for large inputs. Every dst row is
+// owned by one worker and source rows are applied in ascending order, so
+// the result is bit-identical to the serial ScatterAddRows.
+func ScatterAddRowsPar(dst, src *Matrix, idx []int) {
+	if src.Rows != len(idx) || src.Cols != dst.Cols {
+		panic("tensor: scatter-add shape mismatch")
+	}
+	if src.Rows*src.Cols < parallelThreshold {
+		ScatterAddRows(dst, src, idx)
+		return
+	}
+	for _, r := range idx {
+		if r < 0 || r >= dst.Rows {
+			panic(fmt.Sprintf("tensor: scatter row %d out of range [0,%d)", r, dst.Rows))
+		}
+	}
+	offs, members := bucketByKey(idx, dst.Rows)
+	chunks := parallel.ChunkRanges(dst.Rows, parallel.DefaultWorkers())
+	parallel.ForEach(len(chunks), 0, func(c int) {
+		for r := chunks[c][0]; r < chunks[c][1]; r++ {
+			lo, hi := offs[r], offs[r+1]
+			if lo == hi {
+				continue
+			}
+			drow := dst.Row(r)
+			for _, i := range members[lo:hi] {
+				srow := src.Row(int(i))
+				for j, v := range srow {
+					drow[j] += v
+				}
+			}
+		}
+	})
+}
+
+// bucketByKey counting-sorts the indices [0, len(key)) by key value,
+// preserving ascending index order inside each bucket. It returns the
+// bucket offsets (len buckets+1) and the sorted index list.
+func bucketByKey(key []int, buckets int) ([]int32, []int32) {
+	offs := make([]int32, buckets+1)
+	for _, k := range key {
+		offs[k+1]++
+	}
+	for b := 0; b < buckets; b++ {
+		offs[b+1] += offs[b]
+	}
+	members := make([]int32, len(key))
+	cursor := make([]int32, buckets)
+	copy(cursor, offs[:buckets])
+	for i, k := range key {
+		members[cursor[k]] = int32(i)
+		cursor[k]++
+	}
+	return offs, members
+}
+
+func mustShape(op string, m *Matrix, rows, cols int) {
+	if m.Rows != rows || m.Cols != cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch: have %dx%d, want %dx%d", op, m.Rows, m.Cols, rows, cols))
+	}
+}

@@ -12,8 +12,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-
-	"repro/internal/parallel"
 )
 
 // Matrix is a dense row-major rows×cols matrix of float64.
@@ -92,90 +90,17 @@ const parallelThreshold = 1 << 16
 
 // MatMul returns m·o. Panics on shape mismatch.
 func MatMul(a, b *Matrix) *Matrix {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := New(a.Rows, b.Cols)
-	work := a.Rows * a.Cols * b.Cols
-	rowRange := func(lo, hi int) {
-		// ikj loop order: streams through b rows, vectorization friendly.
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-			orow := out.Data[i*b.Cols : (i+1)*b.Cols]
-			for k, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
-	}
-	if work < parallelThreshold {
-		rowRange(0, a.Rows)
-		return out
-	}
-	chunks := parallel.ChunkRanges(a.Rows, parallel.DefaultWorkers())
-	parallel.ForEach(len(chunks), 0, func(c int) {
-		rowRange(chunks[c][0], chunks[c][1])
-	})
-	return out
+	return MatMulInto(a, b, &Matrix{Rows: a.Rows, Cols: b.Cols, Data: make([]float64, a.Rows*b.Cols)})
 }
 
 // MatMulT1 returns aᵀ·b, i.e. (a.Cols × b.Cols). Used for weight gradients.
 func MatMulT1(a, b *Matrix) *Matrix {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("tensor: matmulT1 shape mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := New(a.Cols, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		brow := b.Data[i*b.Cols : (i+1)*b.Cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-	return out
+	return MatMulT1Into(a, b, &Matrix{Rows: a.Cols, Cols: b.Cols, Data: make([]float64, a.Cols*b.Cols)})
 }
 
 // MatMulT2 returns a·bᵀ, i.e. (a.Rows × b.Rows). Used for input gradients.
 func MatMulT2(a, b *Matrix) *Matrix {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: matmulT2 shape mismatch %dx%d · %dx%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := New(a.Rows, b.Rows)
-	work := a.Rows * a.Cols * b.Rows
-	rowRange := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-			orow := out.Data[i*b.Rows : (i+1)*b.Rows]
-			for j := 0; j < b.Rows; j++ {
-				brow := b.Data[j*b.Cols : (j+1)*b.Cols]
-				var s float64
-				for k, av := range arow {
-					s += av * brow[k]
-				}
-				orow[j] = s
-			}
-		}
-	}
-	if work < parallelThreshold {
-		rowRange(0, a.Rows)
-		return out
-	}
-	chunks := parallel.ChunkRanges(a.Rows, parallel.DefaultWorkers())
-	parallel.ForEach(len(chunks), 0, func(c int) {
-		rowRange(chunks[c][0], chunks[c][1])
-	})
-	return out
+	return MatMulT2Into(a, b, &Matrix{Rows: a.Rows, Cols: b.Rows, Data: make([]float64, a.Rows*b.Rows)})
 }
 
 // Transpose returns mᵀ as a new matrix.
@@ -192,11 +117,7 @@ func (m *Matrix) Transpose() *Matrix {
 // Add returns a+b element-wise.
 func Add(a, b *Matrix) *Matrix {
 	mustSameShape("add", a, b)
-	out := New(a.Rows, a.Cols)
-	for i, v := range a.Data {
-		out.Data[i] = v + b.Data[i]
-	}
-	return out
+	return AddInto(a, b, New(a.Rows, a.Cols))
 }
 
 // AddInPlace accumulates b into a.
@@ -210,55 +131,28 @@ func AddInPlace(a, b *Matrix) {
 // Sub returns a-b element-wise.
 func Sub(a, b *Matrix) *Matrix {
 	mustSameShape("sub", a, b)
-	out := New(a.Rows, a.Cols)
-	for i, v := range a.Data {
-		out.Data[i] = v - b.Data[i]
-	}
-	return out
+	return SubInto(a, b, New(a.Rows, a.Cols))
 }
 
 // Mul returns the Hadamard product a⊙b.
 func Mul(a, b *Matrix) *Matrix {
 	mustSameShape("mul", a, b)
-	out := New(a.Rows, a.Cols)
-	for i, v := range a.Data {
-		out.Data[i] = v * b.Data[i]
-	}
-	return out
+	return MulInto(a, b, New(a.Rows, a.Cols))
 }
 
 // Scale returns a·s element-wise.
 func Scale(a *Matrix, s float64) *Matrix {
-	out := New(a.Rows, a.Cols)
-	for i, v := range a.Data {
-		out.Data[i] = v * s
-	}
-	return out
+	return ScaleInto(a, s, New(a.Rows, a.Cols))
 }
 
 // AddRowVector returns a with the 1×cols vector v added to every row.
 func AddRowVector(a, v *Matrix) *Matrix {
-	if v.Rows != 1 || v.Cols != a.Cols {
-		panic(fmt.Sprintf("tensor: add-row-vector shape mismatch %dx%d + %dx%d", a.Rows, a.Cols, v.Rows, v.Cols))
-	}
-	out := New(a.Rows, a.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j, av := range arow {
-			orow[j] = av + v.Data[j]
-		}
-	}
-	return out
+	return AddRowVectorInto(a, v, New(a.Rows, a.Cols))
 }
 
 // Apply returns f mapped over every element.
 func Apply(a *Matrix, f func(float64) float64) *Matrix {
-	out := New(a.Rows, a.Cols)
-	for i, v := range a.Data {
-		out.Data[i] = f(v)
-	}
-	return out
+	return ApplyInto(a, f, New(a.Rows, a.Cols))
 }
 
 // Tanh returns element-wise tanh.
@@ -281,14 +175,7 @@ func ReLU(a *Matrix) *Matrix {
 
 // GatherRows returns the matrix whose i-th row is a.Row(idx[i]).
 func GatherRows(a *Matrix, idx []int) *Matrix {
-	out := New(len(idx), a.Cols)
-	for i, r := range idx {
-		if r < 0 || r >= a.Rows {
-			panic(fmt.Sprintf("tensor: gather row %d out of range [0,%d)", r, a.Rows))
-		}
-		copy(out.Row(i), a.Row(r))
-	}
-	return out
+	return GatherRowsInto(a, idx, New(len(idx), a.Cols))
 }
 
 // ScatterAddRows adds each row i of src into dst.Row(idx[i]).
@@ -306,35 +193,10 @@ func ScatterAddRows(dst, src *Matrix, idx []int) {
 }
 
 // SegmentMean averages the rows of a whose segment id equals s, for each
-// s in [0, segments); segments with no members yield zero rows.
+// s in [0, segments); segments with no members yield zero rows. Large
+// inputs are parallelized over segment blocks (see SegmentMeanInto).
 func SegmentMean(a *Matrix, seg []int, segments int) *Matrix {
-	if len(seg) != a.Rows {
-		panic("tensor: segment-mean index length mismatch")
-	}
-	out := New(segments, a.Cols)
-	counts := make([]float64, segments)
-	for i, s := range seg {
-		if s < 0 || s >= segments {
-			panic(fmt.Sprintf("tensor: segment id %d out of range [0,%d)", s, segments))
-		}
-		counts[s]++
-		orow := out.Row(s)
-		arow := a.Row(i)
-		for j, v := range arow {
-			orow[j] += v
-		}
-	}
-	for s := 0; s < segments; s++ {
-		if counts[s] == 0 {
-			continue
-		}
-		inv := 1 / counts[s]
-		orow := out.Row(s)
-		for j := range orow {
-			orow[j] *= inv
-		}
-	}
-	return out
+	return SegmentMeanInto(a, seg, segments, New(segments, a.Cols))
 }
 
 // ConcatCols horizontally concatenates matrices with equal row counts.
