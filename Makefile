@@ -1,7 +1,14 @@
 GO ?= go
-BENCH_OUT ?= BENCH_1
+BENCH_OUT ?= BENCH_2
 
-.PHONY: build test check race vet bench bench-smoke
+# Regression-gate knobs: the stable micro set measured by bench-gate, the
+# committed baseline it compares against, and the per-metric threshold in
+# percent (applies to ns/op and allocs/op; min-of-count filters noise).
+BENCH_FILTER ?= 'BenchmarkGNNEncode|BenchmarkMetisPartition|BenchmarkCoarsenAllocate|BenchmarkSimulate$$'
+BENCH_BASELINE ?= BENCH_BASELINE.json
+BENCH_THRESHOLD ?= 10
+
+.PHONY: build test check race vet bench bench-smoke bench-gate bench-baseline benchdiff
 
 build:
 	$(GO) build ./...
@@ -21,8 +28,29 @@ race:
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x .
 
-# Full pre-merge check: vet + race-detected tests + benchmark smoke run.
-check: vet race bench-smoke
+# Full pre-merge check: vet + race-detected tests + benchmark smoke run +
+# regression gate against the committed baseline.
+check: vet race bench-smoke bench-gate
+
+# Regression gate: measure the stable micro set (min of -count=3) and fail
+# when any benchmark regressed more than BENCH_THRESHOLD percent in ns/op
+# or allocs/op relative to the committed baseline.
+bench-gate:
+	$(GO) test -run=NONE -bench=$(BENCH_FILTER) -benchmem -count=3 . > .bench_gate.txt
+	$(GO) run ./cmd/benchjson .bench_gate.txt > .bench_gate.json
+	$(GO) run ./cmd/benchjson -diff -threshold $(BENCH_THRESHOLD) $(BENCH_BASELINE) .bench_gate.json
+
+# Refresh the committed gate baseline (run on a quiet machine, then commit).
+bench-baseline:
+	$(GO) test -run=NONE -bench=$(BENCH_FILTER) -benchmem -count=3 . > .bench_gate.txt
+	$(GO) run ./cmd/benchjson .bench_gate.txt > $(BENCH_BASELINE)
+
+# Ad-hoc comparison of two recorded JSON reports:
+#   make benchdiff BENCH_PREV=BENCH_1.json BENCH_NEW=BENCH_2.json
+BENCH_PREV ?= BENCH_1.json
+BENCH_NEW ?= BENCH_2.json
+benchdiff:
+	$(GO) run ./cmd/benchjson -diff -threshold $(BENCH_THRESHOLD) $(BENCH_PREV) $(BENCH_NEW)
 
 # Measured benchmark run. Writes the raw benchstat-consumable text to
 # $(BENCH_OUT).txt and a structured JSON report (same data, plus the raw

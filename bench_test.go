@@ -15,6 +15,7 @@ import (
 	"repro/internal/metis"
 	"repro/internal/nn"
 	"repro/internal/placer"
+	"repro/internal/rl"
 	rtpkg "repro/internal/runtime"
 	"repro/internal/sim"
 	"repro/internal/stream"
@@ -325,6 +326,67 @@ func BenchmarkRuntimeExecution(b *testing.B) {
 		if _, err := rtpkg.Run(g, p, c, rtCfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSimulate measures one bare fluid-simulator evaluation on a
+// large graph — the unit of work that dominates training (every sampled
+// decision costs one coarsen → partition → simulate round trip).
+func BenchmarkSimulate(b *testing.B) {
+	c := sim.DefaultCluster(20, 1500)
+	cfg := gen.DefaultConfig(1000, 2000, 10_000, c)
+	g := gen.Generate(cfg, rand.New(rand.NewSource(12)))
+	p := metis.Partition(g, metis.Options{Parts: c.Devices, Seed: 1})
+	p.Devices = c.Devices
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Simulate(g, p, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainEpoch measures one full REINFORCE epoch over a medium
+// curriculum level under the data-parallel variants: the classic serial
+// loop (batch1), a graph batch reduced on one worker (batch8/workers1,
+// isolating the batching overhead), and the same batch spread over all
+// cores (batch8/workersMax — the speedup configuration; on a single-core
+// host it necessarily matches workers1). Model construction and guided
+// seeding run outside the timer so iterations measure epoch throughput.
+func BenchmarkTrainEpoch(b *testing.B) {
+	s := gen.Medium5K()
+	s.TrainN, s.TestN = 8, 0
+	ds := s.Generate()
+	for _, v := range []struct {
+		name           string
+		batch, workers int
+	}{
+		{"batch1", 1, 1},
+		{"batch8-workers1", 8, 1},
+		{"batch8-workersMax", 8, 0},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := rl.DefaultConfig()
+			cfg.Epochs = 1
+			cfg.PretrainEpochs = 0
+			cfg.MetisGuided = false
+			cfg.Quiet = true
+			cfg.GraphBatch = v.batch
+			cfg.TrainWorkers = v.workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m := core.New(core.DefaultConfig())
+				pipe := &core.Pipeline{Model: m, Placer: placer.Metis{Seed: 1}}
+				tr := rl.NewTrainer(cfg, m, pipe)
+				b.StartTimer()
+				if err := tr.TrainOn(ds.Train, ds.Cluster); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -9,14 +9,27 @@
 //	go test -run=NONE -bench=. -benchmem ./... | benchjson > BENCH_1.json
 //	benchjson bench.txt > BENCH_1.json
 //	benchjson before.txt after.txt > BENCH_1.json   # {"before": …, "after": …}
+//
+// Regression gate: compare two previously emitted JSON reports and exit
+// non-zero when any benchmark regressed by more than the threshold
+// (percent, default 10) in ns/op or allocs/op:
+//
+//	benchjson -diff BENCH_prev.json BENCH_new.json
+//	benchjson -diff -threshold 5 BENCH_prev.json BENCH_new.json
+//
+// Duplicate entries for one benchmark (e.g. from -count=3) collapse to
+// their minimum — the standard noise filter for wall-clock comparisons.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -39,20 +52,38 @@ type report struct {
 }
 
 func main() {
+	diff := flag.Bool("diff", false, "compare two JSON reports and gate on regressions")
+	threshold := flag.Float64("threshold", 10, "regression threshold in percent for -diff")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchjson [bench.txt | before.txt after.txt] < bench-output")
+		fmt.Fprintln(os.Stderr, "       benchjson -diff [-threshold PCT] prev.json new.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+
+	if *diff {
+		if len(args) != 2 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		os.Exit(runDiff(args[0], args[1], *threshold))
+	}
+
 	var out any
-	switch len(os.Args) {
-	case 1:
+	switch len(args) {
+	case 0:
 		out = mustParse(os.Stdin)
+	case 1:
+		out = mustParseFile(args[0])
 	case 2:
-		out = mustParseFile(os.Args[1])
-	case 3:
 		// Two files: a before/after comparison report.
 		out = map[string]*report{
-			"before": mustParseFile(os.Args[1]),
-			"after":  mustParseFile(os.Args[2]),
+			"before": mustParseFile(args[0]),
+			"after":  mustParseFile(args[1]),
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: benchjson [bench.txt | before.txt after.txt] < bench-output")
+		flag.Usage()
 		os.Exit(2)
 	}
 	enc := json.NewEncoder(os.Stdout)
@@ -105,6 +136,126 @@ func parse(in io.Reader) (*report, error) {
 		}
 	}
 	return rep, sc.Err()
+}
+
+// benchPoint is the per-benchmark summary used for regression gating.
+type benchPoint struct {
+	ns     float64
+	allocs float64
+	hasMem bool
+}
+
+// gomaxprocsSuffix strips the trailing "-N" parallelism tag Go appends to
+// benchmark names, so reports recorded at different GOMAXPROCS still match.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// summarize folds a report into per-name minima: with -count>1 each
+// benchmark appears several times, and the minimum is the least-noisy
+// wall-clock estimate (allocs/op is deterministic, min is a no-op there).
+func summarize(rep *report) map[string]benchPoint {
+	out := make(map[string]benchPoint, len(rep.Benchmarks))
+	for _, r := range rep.Benchmarks {
+		name := gomaxprocsSuffix.ReplaceAllString(r.Name, "")
+		p, seen := out[name]
+		if !seen || r.NsPerOp < p.ns {
+			p.ns = r.NsPerOp
+		}
+		hasMem := strings.Contains(r.Raw, "allocs/op")
+		if hasMem && (!p.hasMem || r.AllocsPerOp < p.allocs) {
+			p.allocs = r.AllocsPerOp
+			p.hasMem = true
+		}
+		out[name] = p
+	}
+	return out
+}
+
+// loadReport reads a JSON report emitted by this tool. Plain reports and
+// the {"before": …, "after": …} comparison shape (its "after" half) both
+// load.
+func loadReport(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err == nil && len(rep.Benchmarks) > 0 {
+		return &rep, nil
+	}
+	var pair map[string]*report
+	if err := json.Unmarshal(data, &pair); err == nil && pair["after"] != nil {
+		return pair["after"], nil
+	}
+	return nil, fmt.Errorf("%s: not a benchjson report", path)
+}
+
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+// runDiff prints a per-benchmark delta table and returns the exit code:
+// 0 when no benchmark regressed past the threshold, 1 otherwise. Only
+// benchmarks present in both reports are gated; additions and removals
+// are reported informationally.
+func runDiff(prevPath, newPath string, threshold float64) int {
+	prevRep, err := loadReport(prevPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	prev, cur := summarize(prevRep), summarize(newRep)
+
+	names := make([]string, 0, len(prev))
+	for name := range prev {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	for _, name := range names {
+		p, ok := cur[name]
+		if !ok {
+			fmt.Printf("%-60s removed\n", name)
+			continue
+		}
+		o := prev[name]
+		dns := pctDelta(o.ns, p.ns)
+		line := fmt.Sprintf("%-60s ns/op %12.0f -> %12.0f  %+7.2f%%", name, o.ns, p.ns, dns)
+		bad := dns > threshold
+		if o.hasMem && p.hasMem {
+			dal := pctDelta(o.allocs, p.allocs)
+			line += fmt.Sprintf("   allocs/op %8.0f -> %8.0f  %+7.2f%%", o.allocs, p.allocs, dal)
+			bad = bad || dal > threshold
+		}
+		if bad {
+			line += "   REGRESSION"
+			regressions++
+		}
+		fmt.Println(line)
+	}
+	added := make([]string, 0)
+	for name := range cur {
+		if _, ok := prev[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Printf("%-60s new (ns/op %.0f)\n", name, cur[name].ns)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%%\n", regressions, threshold)
+		return 1
+	}
+	return 0
 }
 
 // parseBenchLine decodes one standard benchmark result line:

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, recs []record) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(&report{Benchmarks: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func rec(name string, ns, allocs float64) record {
+	return record{Name: name, Iterations: 1, NsPerOp: ns, AllocsPerOp: allocs,
+		Raw: name + " 1 ns/op allocs/op"}
+}
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkGNNEncode/medium-8   160   6831173 ns/op   35318 B/op   86 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if r.Name != "BenchmarkGNNEncode/medium-8" || r.NsPerOp != 6831173 || r.AllocsPerOp != 86 {
+		t.Fatalf("bad record: %+v", r)
+	}
+}
+
+func TestSummarizeTakesMinAndStripsSuffix(t *testing.T) {
+	s := summarize(&report{Benchmarks: []record{
+		rec("BenchmarkX-8", 120, 10),
+		rec("BenchmarkX-8", 100, 10),
+		rec("BenchmarkX-8", 110, 10),
+	}})
+	p, ok := s["BenchmarkX"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", s)
+	}
+	if p.ns != 100 || p.allocs != 10 || !p.hasMem {
+		t.Fatalf("bad summary: %+v", p)
+	}
+}
+
+func TestRunDiffPassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	prev := writeReport(t, dir, "prev.json", []record{rec("BenchmarkA", 1000, 50)})
+	next := writeReport(t, dir, "next.json", []record{rec("BenchmarkA", 1050, 50)})
+	if code := runDiff(prev, next, 10); code != 0 {
+		t.Fatalf("5%% slowdown under a 10%% gate must pass, got exit %d", code)
+	}
+}
+
+func TestRunDiffFailsOnNsRegression(t *testing.T) {
+	dir := t.TempDir()
+	prev := writeReport(t, dir, "prev.json", []record{rec("BenchmarkA", 1000, 50)})
+	next := writeReport(t, dir, "next.json", []record{rec("BenchmarkA", 1300, 50)})
+	if code := runDiff(prev, next, 10); code != 1 {
+		t.Fatalf("30%% slowdown must fail the gate, got exit %d", code)
+	}
+}
+
+func TestRunDiffFailsOnAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	prev := writeReport(t, dir, "prev.json", []record{rec("BenchmarkA", 1000, 50)})
+	next := writeReport(t, dir, "next.json", []record{rec("BenchmarkA", 1000, 70)})
+	if code := runDiff(prev, next, 10); code != 1 {
+		t.Fatalf("40%% alloc growth must fail the gate, got exit %d", code)
+	}
+}
+
+func TestRunDiffIgnoresAdditionsAndRemovals(t *testing.T) {
+	dir := t.TempDir()
+	prev := writeReport(t, dir, "prev.json", []record{
+		rec("BenchmarkA", 1000, 50),
+		rec("BenchmarkGone", 10, 1),
+	})
+	next := writeReport(t, dir, "next.json", []record{
+		rec("BenchmarkA", 900, 50),
+		rec("BenchmarkNew", 5000, 999),
+	})
+	if code := runDiff(prev, next, 10); code != 0 {
+		t.Fatalf("additions/removals must not trip the gate, got exit %d", code)
+	}
+}
+
+func TestLoadReportRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "junk.json")
+	if err := os.WriteFile(path, []byte("{\"hello\": 1}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadReport(path); err == nil || !strings.Contains(err.Error(), "not a benchjson report") {
+		t.Fatalf("want parse rejection, got %v", err)
+	}
+}

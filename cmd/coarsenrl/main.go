@@ -60,6 +60,8 @@ func main() {
 		resume      = flag.Bool("resume", false, "restore training state from -checkpoint before training")
 		autosave    = flag.Int("autosave-every", 50, "autosave the checkpoint every N training steps (0 disables)")
 		deadline    = flag.Duration("deadline", 0, "stop training (checkpointing first) after this duration, e.g. 30m (0 = none)")
+		graphBatch  = flag.Int("graph-batch", 1, "graphs per optimizer step; >1 trains batch entries on concurrent model replicas")
+		trainWork   = flag.Int("train-workers", 0, "replica workers per graph batch (0 = all cores); pure wall-clock knob, never changes results")
 		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
@@ -105,6 +107,8 @@ func main() {
 	newTrainer := func(cfg rl.Config) *rl.Trainer {
 		cfg.CheckpointPath = *ckptPath
 		cfg.AutosaveEvery = *autosave
+		cfg.GraphBatch = *graphBatch
+		cfg.TrainWorkers = *trainWork
 		tr := rl.NewTrainer(cfg, model, pipe)
 		if *resume {
 			if *ckptPath == "" {

@@ -29,6 +29,8 @@ func main() {
 		seed   = flag.Int64("seed", 1, "random seed")
 		quiet  = flag.Bool("quiet", false, "suppress training progress")
 		plot   = flag.Bool("plot", false, "render ASCII CDF plots alongside the AUC tables")
+		gbatch = flag.Int("graph-batch", 1, "graphs per optimizer step during training; >1 uses concurrent model replicas")
+		twork  = flag.Int("train-workers", 0, "replica workers per graph batch (0 = all cores); never changes results")
 		cpup   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memp   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
@@ -56,6 +58,8 @@ func main() {
 	h.Quiet = *quiet
 	h.OutDir = *outdir
 	h.Plot = *plot
+	h.GraphBatch = *gbatch
+	h.TrainWorkers = *twork
 
 	ids := strings.Split(*run, ",")
 	for i := range ids {

@@ -46,6 +46,19 @@ func (n *Node) Grad() *tensor.Matrix { return n.grad }
 // RequiresGrad reports whether gradients flow into this node.
 func (n *Node) RequiresGrad() bool { return n.reqG }
 
+// AddGradInto accumulates this node's gradient into dst (which must match
+// the node's shape) and reports whether a gradient was present. dst is
+// caller-owned: unlike Grad's return value it survives the next Reset or
+// Backward, which is what lets per-replica tapes export their gradient
+// vectors for a deterministic cross-replica reduction.
+func (n *Node) AddGradInto(dst *tensor.Matrix) bool {
+	if n.grad == nil {
+		return false
+	}
+	tensor.AddInPlace(dst, n.grad)
+	return true
+}
+
 // Tape records the forward computation. Tapes are not safe for concurrent
 // use, but a single tape can be reused across training steps via Reset,
 // which retains the node slab and returns every tape-owned matrix to the

@@ -56,6 +56,12 @@ type Harness struct {
 	Quiet  bool      // suppress training progress
 	Plot   bool      // render ASCII CDF plots alongside the AUC tables
 
+	// GraphBatch/TrainWorkers configure data-parallel training epochs
+	// (rl.Config semantics: 0/1 batch = serial; workers is a pure
+	// wall-clock knob that never changes results for a given batch).
+	GraphBatch   int
+	TrainWorkers int
+
 	datasets map[string]*gen.Dataset
 	coarsen  map[string]*core.Model
 	base     map[string]baselines.Model
@@ -126,6 +132,8 @@ func (h *Harness) rlConfig(pretrain, epochs int) rl.Config {
 	cfg.Quiet = h.Quiet
 	cfg.Seed = h.Seed + 100
 	cfg.LR = 0.003
+	cfg.GraphBatch = h.GraphBatch
+	cfg.TrainWorkers = h.TrainWorkers
 	return cfg
 }
 

@@ -23,6 +23,7 @@ type Param struct {
 	Value *tensor.Matrix
 	Grad  *tensor.Matrix
 	m, v  *tensor.Matrix // Adam first/second moments
+	idx   int            // registration index within the owning ParamSet
 }
 
 // ParamSet is a registry of parameters belonging to one model.
@@ -47,6 +48,7 @@ func (ps *ParamSet) New(name string, rows, cols int) *Param {
 		Grad:  tensor.New(rows, cols),
 		m:     tensor.New(rows, cols),
 		v:     tensor.New(rows, cols),
+		idx:   len(ps.params),
 	}
 	ps.params = append(ps.params, p)
 	ps.byName[name] = p
@@ -97,6 +99,7 @@ func AccumulateFromTape(nodes map[*Param]*autodiff.Node) {
 type Binder struct {
 	Tape  *autodiff.Tape
 	nodes map[*Param]*autodiff.Node
+	snap  *Snapshot // when set, leaves bind the snapshot's value copies
 }
 
 // NewBinder wraps a tape.
@@ -104,18 +107,38 @@ func NewBinder(t *autodiff.Tape) *Binder {
 	return &Binder{Tape: t, nodes: make(map[*Param]*autodiff.Node)}
 }
 
+// BindSnapshot makes subsequent Node calls create leaves over s's value
+// copies instead of the live parameter matrices, so a replica's forward
+// pass reads a consistent view while the leader owns the live values.
+// The binding persists across Reset; pass nil to bind live values again.
+func (b *Binder) BindSnapshot(s *Snapshot) { b.snap = s }
+
 // Node returns (creating on first use) the tape leaf for p.
 func (b *Binder) Node(p *Param) *autodiff.Node {
 	if n, ok := b.nodes[p]; ok {
 		return n
 	}
-	n := b.Tape.Leaf(p.Value)
+	v := p.Value
+	if b.snap != nil {
+		v = b.snap.Value(p)
+	}
+	n := b.Tape.Leaf(v)
 	b.nodes[p] = n
 	return n
 }
 
 // Collect accumulates tape gradients into every bound parameter.
 func (b *Binder) Collect() { AccumulateFromTape(b.nodes) }
+
+// CollectInto accumulates tape gradients into gs instead of the live
+// parameter Grad buffers — the per-replica half of a deterministic
+// all-reduce: each replica exports into its own GradSet, and the leader
+// folds the sets into the parameters in a fixed order.
+func (b *Binder) CollectInto(gs *GradSet) {
+	for p, n := range b.nodes {
+		n.AddGradInto(gs.Grad(p))
+	}
+}
 
 // Reset recycles the binder for the next training step: the tape's node
 // slab and arena-backed matrices are reclaimed (autodiff.Tape.Reset) and

@@ -1,0 +1,100 @@
+// replica.go provides the parameter-side machinery for data-parallel
+// training: a Snapshot is the consistent read-only copy of a ParamSet's
+// values that model replicas bind their forward passes to, and a GradSet
+// is one replica's (or one batch entry's) private gradient accumulator.
+//
+// The contract mirrors synchronous data-parallel SGD: the leader captures
+// a snapshot (broadcast), replicas run forward+backward against it
+// concurrently, each exporting gradients into its own GradSet, and the
+// leader reduces the sets into the live parameters in a fixed order
+// before one optimizer step. Because replicas never touch the live
+// values and every floating-point addition happens in a deterministic
+// order on the leader, the resulting trajectory is independent of worker
+// count and scheduling.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Snapshot is a consistent copy of a ParamSet's values. Replicas read it
+// while the leader applies optimizer updates to the live parameters, so
+// no forward pass can observe a half-applied update.
+type Snapshot struct {
+	ps   *ParamSet
+	vals []*tensor.Matrix // registration order, shapes mirror ps
+}
+
+// NewSnapshot allocates a snapshot of ps and captures the current values.
+func NewSnapshot(ps *ParamSet) *Snapshot {
+	s := &Snapshot{ps: ps, vals: make([]*tensor.Matrix, len(ps.params))}
+	for i, p := range ps.params {
+		s.vals[i] = tensor.New(p.Value.Rows, p.Value.Cols)
+	}
+	s.Capture()
+	return s
+}
+
+// Capture broadcasts the live parameter values into the snapshot. Call it
+// once per batch, after the leader's optimizer step and before replicas
+// start their forward passes.
+func (s *Snapshot) Capture() {
+	for i, p := range s.ps.params {
+		copy(s.vals[i].Data, p.Value.Data)
+	}
+}
+
+// Value returns the snapshot copy of p's value matrix. p must belong to
+// the ParamSet the snapshot was built from.
+func (s *Snapshot) Value(p *Param) *tensor.Matrix {
+	if p.idx >= len(s.ps.params) || s.ps.params[p.idx] != p {
+		panic(fmt.Sprintf("nn: parameter %q is not from this snapshot's ParamSet", p.Name))
+	}
+	return s.vals[p.idx]
+}
+
+// GradSet is a private gradient accumulator parallel to a ParamSet: one
+// zero-initialized buffer per parameter, written by a single replica and
+// reduced into the live Grad buffers by the leader.
+type GradSet struct {
+	ps   *ParamSet
+	vals []*tensor.Matrix
+}
+
+// NewGradSet allocates zeroed gradient buffers shaped like ps.
+func NewGradSet(ps *ParamSet) *GradSet {
+	g := &GradSet{ps: ps, vals: make([]*tensor.Matrix, len(ps.params))}
+	for i, p := range ps.params {
+		g.vals[i] = tensor.New(p.Value.Rows, p.Value.Cols)
+	}
+	return g
+}
+
+// Zero clears every buffer for reuse.
+func (g *GradSet) Zero() {
+	for _, m := range g.vals {
+		m.Zero()
+	}
+}
+
+// Grad returns the buffer for p. p must belong to the originating ParamSet.
+func (g *GradSet) Grad(p *Param) *tensor.Matrix {
+	if p.idx >= len(g.ps.params) || g.ps.params[p.idx] != p {
+		panic(fmt.Sprintf("nn: parameter %q is not from this GradSet's ParamSet", p.Name))
+	}
+	return g.vals[p.idx]
+}
+
+// AddTo reduces this set into the live Grad buffers of its ParamSet. The
+// leader calls it once per replica in a fixed order — gradient all-reduce
+// with a deterministic floating-point summation order.
+func (g *GradSet) AddTo(ps *ParamSet) {
+	if ps != g.ps {
+		panic("nn: GradSet reduced into a foreign ParamSet")
+	}
+	for i, p := range ps.params {
+		tensor.AddInPlace(p.Grad, g.vals[i])
+	}
+}

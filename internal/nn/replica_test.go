@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/autodiff"
+	"repro/internal/tensor"
+)
+
+func TestSnapshotCaptureAndIsolation(t *testing.T) {
+	ps := NewParamSet()
+	rng := rand.New(rand.NewSource(1))
+	p := ps.NewXavier("w", 3, 4, rng)
+	s := NewSnapshot(ps)
+	for i := range p.Value.Data {
+		if s.Value(p).Data[i] != p.Value.Data[i] {
+			t.Fatalf("snapshot[%d] = %v, want %v", i, s.Value(p).Data[i], p.Value.Data[i])
+		}
+	}
+	// Mutating the live value must not leak into the snapshot until the
+	// next Capture — that isolation is what replicas rely on.
+	p.Value.Data[0] += 42
+	if s.Value(p).Data[0] == p.Value.Data[0] {
+		t.Fatal("snapshot aliases the live value")
+	}
+	s.Capture()
+	if s.Value(p).Data[0] != p.Value.Data[0] {
+		t.Fatal("Capture did not broadcast the updated value")
+	}
+}
+
+func TestSnapshotRejectsForeignParam(t *testing.T) {
+	ps, other := NewParamSet(), NewParamSet()
+	ps.New("a", 2, 2)
+	q := other.New("b", 2, 2)
+	s := NewSnapshot(ps)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for foreign parameter")
+		}
+	}()
+	s.Value(q)
+}
+
+func TestGradSetAccumulateMatchesCollect(t *testing.T) {
+	// CollectInto a GradSet then AddTo must produce the exact same Grad
+	// buffers as the classic Collect path.
+	build := func() (*ParamSet, *Linear, *tensor.Matrix) {
+		ps := NewParamSet()
+		rng := rand.New(rand.NewSource(7))
+		l := NewLinear(ps, "l", 4, 3, rng)
+		x := tensor.New(5, 4)
+		x.RandUniform(rand.New(rand.NewSource(8)), 1)
+		return ps, l, x
+	}
+
+	psA, lA, xA := build()
+	bA := NewBinder(autodiff.NewTape())
+	outA := lA.Apply(bA, bA.Tape.Const(xA))
+	psA.ZeroGrads()
+	bA.Tape.Backward(bA.Tape.Sum(outA), nil)
+	bA.Collect()
+
+	psB, lB, xB := build()
+	bB := NewBinder(autodiff.NewTape())
+	bB.BindSnapshot(NewSnapshot(psB))
+	outB := lB.Apply(bB, bB.Tape.Const(xB))
+	gs := NewGradSet(psB)
+	bB.Tape.Backward(bB.Tape.Sum(outB), nil)
+	bB.CollectInto(gs)
+	psB.ZeroGrads()
+	gs.AddTo(psB)
+
+	for _, pa := range psA.All() {
+		pb := psB.Get(pa.Name)
+		for i := range pa.Grad.Data {
+			if pa.Grad.Data[i] != pb.Grad.Data[i] {
+				t.Fatalf("grad %s[%d]: collect %v vs gradset %v",
+					pa.Name, i, pa.Grad.Data[i], pb.Grad.Data[i])
+			}
+		}
+	}
+}
+
+func TestGradSetZeroAndReuse(t *testing.T) {
+	ps := NewParamSet()
+	p := ps.New("w", 2, 2)
+	gs := NewGradSet(ps)
+	gs.Grad(p).Data[0] = 3
+	gs.Zero()
+	if gs.Grad(p).Data[0] != 0 {
+		t.Fatal("Zero did not clear the buffer")
+	}
+	gs.Grad(p).Data[0] = 1.5
+	ps.ZeroGrads()
+	gs.AddTo(ps)
+	gs.AddTo(ps)
+	if p.Grad.Data[0] != 3 {
+		t.Fatalf("AddTo accumulated %v, want 3", p.Grad.Data[0])
+	}
+}
+
+func TestBindSnapshotReadsConsistentCopy(t *testing.T) {
+	ps := NewParamSet()
+	rng := rand.New(rand.NewSource(3))
+	l := NewLinear(ps, "l", 2, 2, rng)
+	snap := NewSnapshot(ps)
+	b := NewBinder(autodiff.NewTape())
+	b.BindSnapshot(snap)
+
+	x := tensor.New(1, 2)
+	x.Data[0], x.Data[1] = 1, -1
+	before := l.Apply(b, b.Tape.Const(x)).Value.Data[0]
+
+	// Leader perturbs the live weights mid-"batch": a replica forward
+	// bound to the snapshot must not see it.
+	l.W.Value.Data[0] += 100
+	b.Reset()
+	after := l.Apply(b, b.Tape.Const(x)).Value.Data[0]
+	if before != after {
+		t.Fatalf("snapshot-bound forward drifted: %v vs %v", before, after)
+	}
+}

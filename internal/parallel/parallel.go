@@ -54,6 +54,46 @@ func ForEach(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
+// ForEachWorker is ForEach with a stable worker id passed to fn: all
+// calls carrying the same worker id run sequentially on one goroutine, so
+// fn may use per-worker state (a model replica, a scratch tape, a reusable
+// buffer) without locking. Worker ids are dense in [0, workers). Like
+// ForEach, result placement is by index, so outputs are deterministic even
+// though the (worker, index) pairing is not.
+func ForEachWorker(n, workers int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // ForEachErr runs fn(i) for i in [0, n) in parallel and returns the first
 // error encountered (by index order among failures is not guaranteed; the
 // lowest-index error wins when several occur). All indices are attempted.

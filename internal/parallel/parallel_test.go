@@ -29,6 +29,52 @@ func TestForEachZeroAndNegative(t *testing.T) {
 	}
 }
 
+func TestForEachWorkerCoversAllIndicesWithValidIDs(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		n := 257
+		seen := make([]int32, n)
+		bound := workers
+		if bound <= 0 {
+			bound = DefaultWorkers()
+		}
+		if bound > n {
+			bound = n
+		}
+		var badID int32
+		ForEachWorker(n, workers, func(w, i int) {
+			if w < 0 || w >= bound {
+				atomic.AddInt32(&badID, 1)
+			}
+			atomic.AddInt32(&seen[i], 1)
+		})
+		if badID != 0 {
+			t.Fatalf("workers=%d produced %d out-of-range worker ids", workers, badID)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachWorkerSerializesPerWorker(t *testing.T) {
+	// Per-worker state must never be touched concurrently: bump a
+	// non-atomic counter per worker id and verify the totals add up,
+	// which they only can if same-id calls are sequential (the race
+	// detector additionally proves the absence of concurrent access).
+	const n, workers = 500, 4
+	counts := make([]int, workers)
+	ForEachWorker(n, workers, func(w, i int) { counts[w]++ })
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("per-worker counts sum to %d, want %d", total, n)
+	}
+}
+
 func TestForEachErrReturnsLowestIndexError(t *testing.T) {
 	sentinel := errors.New("boom")
 	err := ForEachErr(10, 4, func(i int) error {

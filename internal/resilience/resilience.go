@@ -50,6 +50,21 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	return errors.Join(errs...)
 }
 
+// ForEachWorker is ForEach with a stable worker id: calls sharing a
+// worker id run sequentially on one goroutine (see
+// parallel.ForEachWorker), so fn may drive per-worker state such as a
+// model replica. Panics are isolated per index exactly like ForEach.
+func ForEachWorker(n, workers int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	parallel.ForEachWorker(n, workers, func(w, i int) {
+		errs[i] = protect(i, func() error { return fn(w, i) })
+	})
+	return errors.Join(errs...)
+}
+
 // Map applies fn to each index in parallel with panic isolation and
 // collects the results in order. Slots whose fn panicked or errored hold
 // the zero value; the joined error reports all of them.

@@ -43,6 +43,31 @@ func TestForEachIsolatesPanicKeepsSiblingResults(t *testing.T) {
 	}
 }
 
+func TestForEachWorkerIsolatesPanicsAndKeepsIDsStable(t *testing.T) {
+	const n, workers = 64, 4
+	var covered int32
+	err := ForEachWorker(n, workers, func(w, i int) error {
+		if w < 0 || w >= workers {
+			t.Errorf("worker id %d out of range", w)
+		}
+		if i == 9 {
+			panic("replica exploded")
+		}
+		atomic.AddInt32(&covered, 1)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error from the panicking entry")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 9 {
+		t.Fatalf("expected PanicError for index 9, got %v", err)
+	}
+	if covered != n-1 {
+		t.Fatalf("covered %d sibling entries, want %d", covered, n-1)
+	}
+}
+
 func TestForEachJoinsMultipleFailures(t *testing.T) {
 	err := ForEach(8, 0, func(i int) error {
 		switch i {

@@ -32,6 +32,7 @@ type checkpointPayload struct {
 	History     []float64                `json:"history"`
 	Pos         Progress                 `json:"pos"`
 	Steps       int                      `json:"steps"`
+	SampleSeq   uint64                   `json:"sample_seq"`
 	Divergences int                      `json:"divergences"`
 }
 
@@ -61,6 +62,7 @@ func (t *Trainer) SaveCheckpoint(path string) error {
 		History:     append([]float64(nil), t.History...),
 		Pos:         t.Pos,
 		Steps:       t.steps,
+		SampleSeq:   t.sampleSeq,
 		Divergences: t.Divergences,
 	}
 	if err := ckpt.WriteFile(path, trainerKind, payload); err != nil {
@@ -115,6 +117,13 @@ func (t *Trainer) LoadCheckpoint(path string) error {
 	t.History = payload.History
 	t.Pos = payload.Pos
 	t.steps = payload.Steps
+	t.sampleSeq = payload.SampleSeq
+	if t.sampleSeq == 0 && payload.Steps > 0 {
+		// Checkpoint written before substream sampling existed: the visit
+		// counter and the step counter advanced in lockstep, so the step
+		// count restores the cursor exactly.
+		t.sampleSeq = uint64(payload.Steps)
+	}
 	t.Divergences = payload.Divergences
 	// The restored state is by definition good: give the divergence guard
 	// its rollback target.

@@ -33,6 +33,7 @@ import (
 	"repro/internal/gnn"
 	"repro/internal/metis"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/resilience"
 	"repro/internal/sim"
 	"repro/internal/stream"
@@ -77,6 +78,18 @@ type Config struct {
 	// → simulate pipeline, so it never changes the training trajectory —
 	// only how often the pipeline actually runs.
 	RewardCacheSize int
+	// GraphBatch is the number of graphs trained per optimizer step
+	// (0 or 1 = classic serial REINFORCE: one Adam update per graph).
+	// For GraphBatch=N, the N graphs of a batch all run their forward,
+	// sampling, reward scoring, and backward passes against the same
+	// parameter snapshot on concurrent model replicas; gradients are
+	// reduced in fixed graph-index order into one Adam update. The
+	// trajectory depends on N but never on TrainWorkers or scheduling.
+	GraphBatch int
+	// TrainWorkers caps the number of concurrent model replicas driving a
+	// graph batch (0 = GOMAXPROCS). It is a pure wall-clock knob: any
+	// value produces the bit-identical trajectory for a given GraphBatch.
+	TrainWorkers int
 	// Quiet suppresses progress logging.
 	Quiet bool
 	// Logf receives progress lines when non-nil (and Quiet is false).
@@ -153,10 +166,25 @@ type Trainer struct {
 	pcg    *randv2.PCG
 	rng    *randv2.Rand
 	steps  int // total REINFORCE steps taken (drives autosave cadence)
+	// sampleSeq is the substream cursor: every graph visit consumes one
+	// per-(graph, step) PCG substream derived from (Cfg.Seed, sampleSeq,
+	// graph index), so on-policy sampling is independent of batch shape
+	// and worker scheduling. Persisted in checkpoints, never reset (not
+	// even between curriculum levels), so -resume replays the exact
+	// streams an uninterrupted run would have drawn.
+	sampleSeq uint64
 
 	// fwd is the reusable forward binder: one tape whose node slab and
 	// arena-backed matrices are recycled every step (reset-on-acquire).
 	fwd *nn.Binder
+
+	// Data-parallel replica state (lazily grown by trainBatch): snap is
+	// the per-batch parameter broadcast all replicas read, reps holds one
+	// binder+tape per worker, and entryGrads one gradient accumulator per
+	// batch entry so the leader can reduce in fixed graph-index order.
+	snap       *nn.Snapshot
+	reps       []*nn.Binder
+	entryGrads []*nn.GradSet
 
 	lastGood *goodState
 
@@ -247,50 +275,126 @@ func (t *Trainer) SeedMetisGuided(graphs []*stream.Graph, cluster sim.Cluster) e
 	return nil
 }
 
-// step trains on one graph and returns the mean on-policy reward.
-func (t *Trainer) step(gi int, g *stream.Graph, cluster sim.Cluster) (float64, error) {
+// splitmix64 is the SplitMix64 finalizer — the standard way to expand one
+// seed into decorrelated substream seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// sampleRNG derives the PCG substream for one (graph, step) visit. The
+// stream is a pure function of the root seed, the global visit counter,
+// and the graph index — never of batch shape, worker count, or scheduling
+// — which is what makes batched training deterministic and -resume exact:
+// a restored sampleSeq replays the identical streams.
+func (t *Trainer) sampleRNG(seq uint64, gi int) *randv2.Rand {
+	hi := splitmix64(uint64(t.Cfg.Seed)*0x9E3779B97F4A7C15 + seq)
+	lo := splitmix64(hi + uint64(gi))
+	return randv2.New(randv2.NewPCG(hi, lo))
+}
+
+// graphBatch returns the effective optimizer batch size.
+func (t *Trainer) graphBatch() int {
+	if t.Cfg.GraphBatch <= 1 {
+		return 1
+	}
+	return t.Cfg.GraphBatch
+}
+
+// trainWorkers returns the effective replica count for a batch of b.
+func (t *Trainer) trainWorkers(b int) int {
+	w := t.Cfg.TrainWorkers
+	if w <= 0 {
+		w = parallel.DefaultWorkers()
+	}
+	if w > b {
+		w = b
+	}
+	return w
+}
+
+// ensureReplicas grows the per-worker binders and per-entry gradient sets
+// to cover `workers` replicas and `entries` batch slots. Replica binders
+// bind the shared parameter snapshot, so their forward passes read a
+// consistent copy while the leader owns the live values.
+func (t *Trainer) ensureReplicas(workers, entries int) {
+	if t.snap == nil {
+		t.snap = nn.NewSnapshot(t.Model.PS)
+	}
+	for len(t.reps) < workers {
+		b := nn.NewBinder(autodiff.NewTape())
+		b.BindSnapshot(t.snap)
+		t.reps = append(t.reps, b)
+	}
+	for len(t.entryGrads) < entries {
+		t.entryGrads = append(t.entryGrads, nn.NewGradSet(t.Model.PS))
+	}
+}
+
+// stepResult is one batch entry's contribution, exported by a replica and
+// consumed by the leader in fixed graph-index order.
+type stepResult struct {
+	loss         float64
+	hasLoss      bool
+	samples      []scored
+	onPolicyMean float64
+}
+
+// stepEntry runs one graph's REINFORCE step on a replica binder: forward
+// against the parameter snapshot, substream sampling, reward scoring,
+// loss, backward, and gradient export into gs. It never touches the live
+// parameters, the optimizer, or the memory buffers — those belong to the
+// leader — so any number of entries can run concurrently.
+func (t *Trainer) stepEntry(binder *nn.Binder, seq uint64, gi int, g *stream.Graph, cluster sim.Cluster, gs *nn.GradSet, innerWorkers int) (stepResult, error) {
 	f := gnn.BuildFeatures(g, cluster)
-	binder := t.forward()
+	binder.Reset()
 	tape := binder.Tape
 	probs := t.Model.EdgeProbs(binder, f)
 
-	// Draw on-policy samples from the current probabilities.
+	// Draw on-policy samples from this visit's private substream.
+	rng := t.sampleRNG(seq, gi)
 	n := t.Cfg.OnPolicySamples
 	samples := make([]scored, n)
 	pv := probs.Value
 	for s := 0; s < n; s++ {
 		d := make(core.Decision, pv.Rows)
 		for i := 0; i < pv.Rows; i++ {
-			d[i] = t.rng.Float64() < pv.Data[i]
+			d[i] = rng.Float64() < pv.Data[i]
 		}
 		samples[s] = scored{d: d}
 	}
-	// Evaluate rewards in parallel (coarsen → partition → simulate),
-	// memoized on the exact decision bitset so a duplicate sample skips
-	// the pipeline entirely. A panic in one worker surfaces here as an
-	// error; sibling samples are still scored.
-	if err := resilience.ForEach(n, 0, func(s int) error {
+	// Evaluate rewards (coarsen → partition → simulate), memoized on the
+	// exact decision bitset so a duplicate sample skips the pipeline
+	// entirely. A panic in one scorer surfaces here as an error; sibling
+	// samples are still scored. When several batch entries already run
+	// concurrently the scoring stays inside this worker (innerWorkers=1);
+	// a serial batch fans it out across the machine as before.
+	if err := resilience.ForEach(n, innerWorkers, func(s int) error {
 		samples[s].reward = t.scoreDecision(gi, g, cluster, samples[s].d)
 		return nil
 	}); err != nil {
-		return 0, fmt.Errorf("rl: sample scoring on graph %d failed: %w", gi, err)
+		return stepResult{}, fmt.Errorf("rl: sample scoring on graph %d failed: %w", gi, err)
 	}
-	var onPolicyMean float64
+	res := stepResult{samples: samples}
 	finiteN := 0
 	for _, s := range samples {
 		if isFinite(s.reward) {
-			onPolicyMean += s.reward
+			res.onPolicyMean += s.reward
 			finiteN++
 		}
 	}
 	if finiteN > 0 {
-		onPolicyMean /= float64(finiteN)
+		res.onPolicyMean /= float64(finiteN)
 	}
 
 	// Mix in buffered best samples. Non-finite on-policy rewards are
 	// excluded from the whole batch — not just the on-policy mean — so a
 	// single NaN/Inf sample cannot poison the baseline, the reward spread,
 	// or the loss (buffered entries are always finite by construction).
+	// The buffer is read-only for the whole batch; the leader applies
+	// updates after the barrier.
 	buf := t.buffer[gi]
 	take := t.Cfg.BufferSamples
 	if take > len(buf) {
@@ -304,10 +408,9 @@ func (t *Trainer) step(gi int, g *stream.Graph, cluster sim.Cluster) (float64, e
 	}
 	batch = append(batch, buf[:take]...)
 	if len(batch) == 0 {
-		// Every sample diverged and the buffer is empty: skip the update
-		// rather than feed NaNs to the optimizer.
-		t.updateBuffer(gi, samples)
-		return onPolicyMean, nil
+		// Every sample diverged and the buffer is empty: contribute no
+		// gradient rather than feed NaNs to the optimizer.
+		return res, nil
 	}
 
 	// Baseline: mean reward across the batch; advantages are normalized by
@@ -346,16 +449,91 @@ func (t *Trainer) step(gi int, g *stream.Graph, cluster sim.Cluster) (float64, e
 		}
 	}
 	if loss != nil {
-		t.Model.PS.ZeroGrads()
+		gs.Zero()
 		tape.Backward(loss, nil)
-		binder.Collect()
-		t.applyUpdate(scalarOf(loss))
+		binder.CollectInto(gs)
+		res.loss = scalarOf(loss)
+		res.hasLoss = true
+	}
+	return res, nil
+}
+
+// batchEntry pairs a graph with its stable dataset index (which keys the
+// memory buffer, the reward memo, and the RNG substream).
+type batchEntry struct {
+	gi int
+	g  *stream.Graph
+}
+
+// step trains on one graph and returns the mean on-policy reward — the
+// serial special case of trainBatch, kept as the unit the memoization and
+// divergence tests drive directly.
+func (t *Trainer) step(gi int, g *stream.Graph, cluster sim.Cluster) (float64, error) {
+	return t.trainBatch(cluster, []batchEntry{{gi: gi, g: g}}, t.sampleSeq)
+}
+
+// trainBatch trains on one optimizer batch of graphs and returns the
+// summed mean on-policy reward. Entries run on up to TrainWorkers
+// concurrent model replicas, all reading the same parameter snapshot; the
+// leader then reduces per-entry gradients in fixed batch order —
+// independent of completion order — into one Adam update, applies the
+// divergence guard once per batch, and updates the memory buffers. With
+// GraphBatch=1 this degenerates to the classic serial step: one replica,
+// one entry, one update per graph.
+func (t *Trainer) trainBatch(cluster sim.Cluster, batch []batchEntry, seqBase uint64) (float64, error) {
+	nB := len(batch)
+	workers := t.trainWorkers(nB)
+	t.ensureReplicas(workers, nB)
+	// Broadcast: replicas read this batch's consistent parameter copy.
+	t.snap.Capture()
+	innerWorkers := 1
+	if workers == 1 {
+		// Serial batch: let sample scoring fan out across the machine.
+		innerWorkers = 0
+	}
+	results := make([]stepResult, nB)
+	err := resilience.ForEachWorker(nB, workers, func(w, j int) error {
+		res, err := t.stepEntry(t.reps[w], seqBase+uint64(j), batch[j].gi, batch[j].g, cluster, t.entryGrads[j], innerWorkers)
+		if err != nil {
+			return err
+		}
+		results[j] = res
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 
-	// Update the buffer with the new samples; keep the best, evicting
-	// guided entries once on-policy samples beat them.
-	t.updateBuffer(gi, samples)
-	return onPolicyMean, nil
+	// Deterministic all-reduce: gradients fold into the live parameters
+	// by ascending graph index, so the floating-point summation order —
+	// and therefore the trajectory — is identical for any worker count.
+	var lossSum float64
+	hasLoss := false
+	for j := range results {
+		if results[j].hasLoss {
+			lossSum += results[j].loss
+			hasLoss = true
+		}
+	}
+	if hasLoss {
+		t.Model.PS.ZeroGrads()
+		for j := range results {
+			if results[j].hasLoss {
+				t.entryGrads[j].AddTo(t.Model.PS)
+			}
+		}
+		t.applyUpdate(lossSum)
+	}
+
+	// Buffer updates and the reward sum also run in fixed order (graph
+	// indices within one epoch batch are distinct, so this is the only
+	// writer per buffer).
+	var rewardSum float64
+	for j := range results {
+		t.updateBuffer(batch[j].gi, results[j].samples)
+		rewardSum += results[j].onPolicyMean
+	}
+	return rewardSum, nil
 }
 
 func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
@@ -526,19 +704,37 @@ func (t *Trainer) TrainOnCtx(ctx context.Context, graphs []*stream.Graph, cluste
 			t.Pos.Step = 0
 			t.Pos.RewardSum = 0
 		}
-		for si := t.Pos.Step; si < len(t.Pos.Order); si++ {
+		// Walk the epoch order in optimizer batches of GraphBatch graphs.
+		// The context is polled once per batch (= once per step when
+		// GraphBatch is 1, preserving the classic cancellation cadence),
+		// and autosave fires whenever the step counter crosses an
+		// AutosaveEvery boundary — identical to the per-step modulo check
+		// in the serial case.
+		batchSize := t.graphBatch()
+		for si := t.Pos.Step; si < len(t.Pos.Order); {
 			if err := ctx.Err(); err != nil {
 				return t.halt(err)
 			}
-			gi := t.Pos.Order[si]
-			r, err := t.step(gi, graphs[gi], cluster)
+			end := si + batchSize
+			if end > len(t.Pos.Order) {
+				end = len(t.Pos.Order)
+			}
+			entries := make([]batchEntry, end-si)
+			for j := range entries {
+				gi := t.Pos.Order[si+j]
+				entries[j] = batchEntry{gi: gi, g: graphs[gi]}
+			}
+			r, err := t.trainBatch(cluster, entries, t.sampleSeq)
 			if err != nil {
 				return t.halt(err)
 			}
 			t.Pos.RewardSum += r
-			t.Pos.Step = si + 1
-			t.steps++
-			if t.Cfg.AutosaveEvery > 0 && t.Cfg.CheckpointPath != "" && t.steps%t.Cfg.AutosaveEvery == 0 {
+			t.Pos.Step = end
+			stepsBefore := t.steps
+			t.steps += end - si
+			t.sampleSeq += uint64(end - si)
+			si = end
+			if a := t.Cfg.AutosaveEvery; a > 0 && t.Cfg.CheckpointPath != "" && t.steps/a > stepsBefore/a {
 				if err := t.SaveCheckpoint(t.Cfg.CheckpointPath); err != nil {
 					return fmt.Errorf("rl: autosave failed: %w", err)
 				}
