@@ -4,11 +4,11 @@ BENCH_OUT ?= BENCH_2
 # Regression-gate knobs: the stable micro set measured by bench-gate, the
 # committed baseline it compares against, and the per-metric threshold in
 # percent (applies to ns/op and allocs/op; min-of-count filters noise).
-BENCH_FILTER ?= 'BenchmarkGNNEncode|BenchmarkMetisPartition|BenchmarkCoarsenAllocate|BenchmarkSimulate$$'
+BENCH_FILTER ?= 'BenchmarkGNNEncode|BenchmarkMetisPartition|BenchmarkCoarsenAllocate|BenchmarkSimulate$$|BenchmarkTrainEpoch'
 BENCH_BASELINE ?= BENCH_BASELINE.json
 BENCH_THRESHOLD ?= 10
 
-.PHONY: build test check race vet bench bench-smoke bench-gate bench-baseline benchdiff
+.PHONY: build test check race vet bench bench-smoke bench-gate bench-baseline benchdiff curve
 
 build:
 	$(GO) build ./...
@@ -28,9 +28,17 @@ race:
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x .
 
+# Observability smoke: a tiny seeded training run must emit a parseable
+# JSONL training curve with strictly increasing steps (curvecheck exits
+# non-zero otherwise).
+curve:
+	$(GO) run ./cmd/coarsenrl -mode train -setting small -scale 0.1 \
+		-pretrain 0 -epochs 1 -quiet -curve-out .curve.jsonl
+	$(GO) run ./cmd/curvecheck .curve.jsonl
+
 # Full pre-merge check: vet + race-detected tests + benchmark smoke run +
-# regression gate against the committed baseline.
-check: vet race bench-smoke bench-gate
+# observability smoke + regression gate against the committed baseline.
+check: vet race bench-smoke curve bench-gate
 
 # Regression gate: measure the stable micro set (min of -count=3) and fail
 # when any benchmark regressed more than BENCH_THRESHOLD percent in ns/op

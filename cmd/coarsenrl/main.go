@@ -33,6 +33,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/metis"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/placer"
 	"repro/internal/prof"
 	"repro/internal/rl"
@@ -42,6 +43,10 @@ import (
 // stopProf finalizes the pprof profiles; error exits call it explicitly
 // because os.Exit skips defers.
 var stopProf = func() {}
+
+// flushObs writes the trace file and closes the curve writer; like
+// stopProf it must run on every exit path.
+var flushObs = func() {}
 
 func main() {
 	var (
@@ -64,8 +69,19 @@ func main() {
 		trainWork   = flag.Int("train-workers", 0, "replica workers per graph batch (0 = all cores); pure wall-clock knob, never changes results")
 		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		verbose     = flag.Bool("v", false, "verbose logging (debug level)")
+		listen      = flag.String("listen", "", "serve /metrics (Prometheus) and /debug/vars (expvar) on this address, e.g. :9090 or :0")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON of training phases to this file")
+		curveOut    = flag.String("curve-out", "", "append one JSONL training-curve record per optimizer step to this file")
 	)
 	flag.Parse()
+
+	// CLI default is info-level progress on stderr; -v raises to debug,
+	// -quiet keeps the trainer's own lines off as before.
+	obs.Log.SetLevel(obs.LevelInfo)
+	if *verbose {
+		obs.Log.SetLevel(obs.LevelDebug)
+	}
 
 	var err error
 	stopProf, err = prof.Start(*cpuprofile, *memprofile)
@@ -73,6 +89,45 @@ func main() {
 		fatal(err)
 	}
 	defer stopProf()
+
+	if *listen != "" {
+		srv, err := obs.Serve(*listen, obs.Default)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (and /debug/vars)\n", srv.Addr())
+	}
+	var tracer *obs.Tracer
+	var curve *obs.CurveWriter
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+	}
+	if *curveOut != "" {
+		curve, err = obs.CreateCurve(*curveOut)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	flushObs = func() {
+		if tracer != nil {
+			if err := tracer.WriteFile(*traceOut); err != nil {
+				obs.Log.Warnf("coarsenrl: writing %s: %v", *traceOut, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", tracer.Len(), *traceOut)
+			}
+		}
+		if curve != nil {
+			n := curve.Len()
+			if err := curve.Close(); err != nil {
+				obs.Log.Warnf("coarsenrl: closing %s: %v", *curveOut, err)
+			} else if n > 0 {
+				fmt.Fprintf(os.Stderr, "wrote %d curve records to %s\n", n, *curveOut)
+			}
+		}
+		flushObs = func() {} // idempotent: fatal paths and the defer both call it
+	}
+	defer flushObs()
 
 	setting, err := gen.ByName(*settingName)
 	if err != nil {
@@ -109,6 +164,8 @@ func main() {
 		cfg.AutosaveEvery = *autosave
 		cfg.GraphBatch = *graphBatch
 		cfg.TrainWorkers = *trainWork
+		cfg.Tracer = tracer
+		cfg.Curve = curve
 		tr := rl.NewTrainer(cfg, model, pipe)
 		if *resume {
 			if *ckptPath == "" {
@@ -189,6 +246,7 @@ func main() {
 // training failure). The trainer has already checkpointed if a
 // -checkpoint path was configured; the error says where.
 func exitInterrupted(err error) {
+	flushObs()
 	stopProf()
 	fmt.Fprintf(os.Stderr, "coarsenrl: %v\n", err)
 	fmt.Fprintln(os.Stderr, "rerun with -resume to continue from the saved state")
@@ -224,6 +282,7 @@ func maxOf(a, b int) int {
 }
 
 func fatal(err error) {
+	flushObs()
 	stopProf()
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)

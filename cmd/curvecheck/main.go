@@ -1,0 +1,66 @@
+// Command curvecheck validates a training-curve JSONL file produced by
+// `coarsenrl -curve-out` (or the experiments harness): every line must be
+// a parseable obs.CurveRecord and the step numbers must be strictly
+// increasing — the invariant `make curve` gates on. It exits non-zero,
+// naming the offending line, on any violation.
+//
+// Usage:
+//
+//	curvecheck curve.jsonl
+//	curvecheck < curve.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var r io.Reader = os.Stdin
+	name := "<stdin>"
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		r, name = f, os.Args[1]
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lastStep := 0
+	lines := 0
+	for sc.Scan() {
+		lines++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec obs.CurveRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			fail("%s:%d: not a JSON curve record: %v", name, lines, err)
+		}
+		if rec.Step <= lastStep {
+			fail("%s:%d: step %d does not increase (previous %d)", name, lines, rec.Step, lastStep)
+		}
+		lastStep = rec.Step
+	}
+	if err := sc.Err(); err != nil {
+		fail("%s: %v", name, err)
+	}
+	if lines == 0 {
+		fail("%s: empty curve (no records)", name)
+	}
+	fmt.Printf("curvecheck: %s ok (%d records, final step %d)\n", name, lines, lastStep)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "curvecheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/prof"
 )
 
@@ -33,13 +34,56 @@ func main() {
 		twork  = flag.Int("train-workers", 0, "replica workers per graph batch (0 = all cores); never changes results")
 		cpup   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memp   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		verb   = flag.Bool("v", false, "verbose logging (debug level)")
+		listen = flag.String("listen", "", "serve /metrics and /debug/vars on this address, e.g. :9090 or :0")
+		trace  = flag.String("trace-out", "", "write a Chrome trace-event JSON of training phases to this file")
+		curveP = flag.String("curve-out", "", "append one JSONL training-curve record per optimizer step to this file")
 	)
 	flag.Parse()
+
+	obs.Log.SetLevel(obs.LevelInfo)
+	if *verb {
+		obs.Log.SetLevel(obs.LevelDebug)
+	}
 
 	stopProf, err := prof.Start(*cpup, *memp)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *listen != "" {
+		srv, err := obs.Serve(*listen, obs.Default)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (and /debug/vars)\n", srv.Addr())
+	}
+	var tracer *obs.Tracer
+	var curve *obs.CurveWriter
+	if *trace != "" {
+		tracer = obs.NewTracer()
+	}
+	if *curveP != "" {
+		curve, err = obs.CreateCurve(*curveP)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	flushObs := func() {
+		if tracer != nil {
+			if err := tracer.WriteFile(*trace); err != nil {
+				obs.Log.Warnf("experiments: writing %s: %v", *trace, err)
+			}
+		}
+		if curve != nil {
+			if err := curve.Close(); err != nil {
+				obs.Log.Warnf("experiments: closing %s: %v", *curveP, err)
+			}
+		}
 	}
 
 	var b eval.Budget
@@ -60,6 +104,8 @@ func main() {
 	h.Plot = *plot
 	h.GraphBatch = *gbatch
 	h.TrainWorkers = *twork
+	h.Curve = curve
+	h.Tracer = tracer
 
 	ids := strings.Split(*run, ",")
 	for i := range ids {
@@ -67,10 +113,12 @@ func main() {
 	}
 	start := time.Now()
 	if err := h.Run(ids...); err != nil {
+		flushObs()
 		stopProf()
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	flushObs()
 	stopProf()
 	fmt.Printf("completed %v in %v\n", ids, time.Since(start).Round(time.Second))
 }

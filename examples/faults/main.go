@@ -65,7 +65,8 @@ func main() {
 
 	fmt.Printf("graph: %d operators, %.0f tuples/s source, %d devices\n\n",
 		g.NumNodes(), g.SourceRate, cluster.Devices)
-	fmt.Printf("%-26s %10s %10s\n", "scenario", "relative", "retained")
+	fmt.Printf("%-26s %10s %10s %9s %9s %8s\n",
+		"scenario", "relative", "retained", "crashes", "restarts", "retunes")
 
 	var baseline float64
 	for i, sc := range scenarios {
@@ -82,7 +83,11 @@ func main() {
 		if baseline > 0 {
 			retained = r.Relative / baseline
 		}
-		fmt.Printf("%-26s %10.3f %9.0f%%\n", sc.name, r.Relative, retained*100)
+		// Fault columns are the runtime's measured injection counts
+		// (runtime.Result), not the plan re-tallied: a fault the run never
+		// reached shows up as zero here.
+		fmt.Printf("%-26s %10.3f %9.0f%% %9d %9d %8d\n",
+			sc.name, r.Relative, retained*100, r.DeviceCrashes, r.DeviceRestarts, r.LinkRetunes)
 	}
 
 	fmt.Println("\nThe same degradation curve is available as an eval-harness")

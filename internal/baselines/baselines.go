@@ -19,7 +19,6 @@
 package baselines
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 
@@ -27,6 +26,7 @@ import (
 	"repro/internal/gnn"
 	"repro/internal/metis"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/stream"
@@ -86,7 +86,7 @@ func (c TrainConfig) logf(format string, args ...any) {
 		c.Logf(format, args...)
 		return
 	}
-	fmt.Printf(format+"\n", args...)
+	obs.Log.Infof(format, args...)
 }
 
 // Model is the common interface of the learned direct-placement baselines.

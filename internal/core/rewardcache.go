@@ -14,6 +14,8 @@ import (
 	"container/list"
 	"encoding/binary"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // RewardCache memoizes decision rewards with LRU eviction. It is safe for
@@ -25,6 +27,9 @@ type RewardCache struct {
 	order   *list.List // front = most recently used
 	hits    uint64
 	misses  uint64
+	// Optional continuous counters mirroring hits/misses (nil-safe).
+	obsHits   *obs.Counter
+	obsMisses *obs.Counter
 }
 
 type rewardEntry struct {
@@ -59,6 +64,15 @@ func DecisionKey(graph int, d Decision) string {
 	return string(buf)
 }
 
+// Instrument mirrors every hit and miss into the given obs counters so a
+// live /metrics scrape sees cache effectiveness without polling Stats().
+// Either counter may be nil (obs.Counter methods are nil-safe).
+func (c *RewardCache) Instrument(hits, misses *obs.Counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.obsHits, c.obsMisses = hits, misses
+}
+
 // Get returns the memoized reward for key and whether it was present,
 // marking the entry most-recently-used on a hit.
 func (c *RewardCache) Get(key string) (float64, bool) {
@@ -67,9 +81,11 @@ func (c *RewardCache) Get(key string) (float64, bool) {
 	el, ok := c.entries[key]
 	if !ok {
 		c.misses++
+		c.obsMisses.Inc()
 		return 0, false
 	}
 	c.hits++
+	c.obsHits.Inc()
 	c.order.MoveToFront(el)
 	return el.Value.(*rewardEntry).reward, true
 }

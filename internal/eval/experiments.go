@@ -14,6 +14,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/metis"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/placer"
 	"repro/internal/rl"
@@ -61,6 +62,12 @@ type Harness struct {
 	// wall-clock knob that never changes results for a given batch).
 	GraphBatch   int
 	TrainWorkers int
+
+	// Curve and Tracer, when set, are threaded into every coarsening
+	// training run the harness launches (rl.Config.Curve / .Tracer
+	// semantics: observation only, trajectories unchanged).
+	Curve  *obs.CurveWriter
+	Tracer *obs.Tracer
 
 	datasets map[string]*gen.Dataset
 	coarsen  map[string]*core.Model
@@ -134,8 +141,15 @@ func (h *Harness) rlConfig(pretrain, epochs int) rl.Config {
 	cfg.LR = 0.003
 	cfg.GraphBatch = h.GraphBatch
 	cfg.TrainWorkers = h.TrainWorkers
+	cfg.Curve = h.Curve
+	cfg.Tracer = h.Tracer
 	return cfg
 }
+
+// Metrics returns the registry all harness-driven instrumentation reports
+// into — the process-wide default, where the sim/metis/runtime/rl package
+// counters live. Callers can snapshot it or serve it via obs.Serve.
+func (h *Harness) Metrics() *obs.Registry { return obs.Default }
 
 // CoarsenModel returns the trained coarsening model for a named level,
 // training it (and its curriculum predecessors) on first use.
@@ -622,16 +636,16 @@ type Fig8Row struct {
 func (h *Harness) Fig8() []Fig8Row {
 	ds := h.Dataset(gen.Large())
 	pipe := &core.Pipeline{Model: h.CoarsenModel("large"), Placer: placer.Metis{Seed: h.Seed}}
-	type obs struct {
+	type ratioObs struct {
 		ratio          float64
 		metis, coarsen float64
 	}
-	observations := parallel.Map(len(ds.Test), 0, func(i int) obs {
+	observations := parallel.Map(len(ds.Test), 0, func(i int) ratioObs {
 		g := ds.Test[i]
 		mp := metis.Partition(g, metis.Options{Parts: ds.Cluster.Devices, Seed: h.Seed})
 		mp.Devices = ds.Cluster.Devices
 		a := pipe.Allocate(g, ds.Cluster)
-		return obs{
+		return ratioObs{
 			ratio:   a.Coarse.CompressionRatio(),
 			metis:   sim.Reward(g, mp, ds.Cluster) * g.SourceRate,
 			coarsen: sim.Reward(g, a.Placement, ds.Cluster) * g.SourceRate,

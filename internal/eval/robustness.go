@@ -24,6 +24,13 @@ type RobustnessResult struct {
 	// Degradation[i] = Relative[i] / Relative[0]: the fraction of
 	// fault-free throughput retained (1.0 at i=0 by construction).
 	Degradation []float64
+	// MeasuredCrashes[i] / MeasuredRestarts[i] are the device crash and
+	// restart events the runtime actually observed across the column's
+	// runs — taken from runtime.Result's measured fault metrics, not
+	// recomputed from the FaultPlan (a fault scheduled past the wall
+	// clock, or on an idle device, never fires).
+	MeasuredCrashes  []int
+	MeasuredRestarts []int
 }
 
 // Robustness measures throughput degradation under an escalating device
@@ -68,7 +75,7 @@ func (h *Harness) Robustness() *RobustnessResult {
 		// Runs are wall-clock measurements on shared CPUs: keep them
 		// serial so concurrent runs do not distort each other's timing.
 		var sum float64
-		var n int
+		var n, crashes, restarts int
 		for i, g := range graphs {
 			r, err := runtime.Run(g, placements[i], cluster, cfg)
 			if err != nil {
@@ -76,6 +83,8 @@ func (h *Harness) Robustness() *RobustnessResult {
 				continue
 			}
 			sum += r.Relative
+			crashes += r.DeviceCrashes
+			restarts += r.DeviceRestarts
 			n++
 		}
 		mean := 0.0
@@ -83,6 +92,8 @@ func (h *Harness) Robustness() *RobustnessResult {
 			mean = sum / float64(n)
 		}
 		res.Relative = append(res.Relative, mean)
+		res.MeasuredCrashes = append(res.MeasuredCrashes, crashes)
+		res.MeasuredRestarts = append(res.MeasuredRestarts, restarts)
 	}
 	for i := range res.Relative {
 		d := 1.0
@@ -95,7 +106,8 @@ func (h *Harness) Robustness() *RobustnessResult {
 	h.printf("== Robustness: throughput under injected device crashes ==\n")
 	h.printf("  (Metis placements, %d graphs, 60 ms crash windows, 400 ms runs)\n", len(graphs))
 	for i, k := range res.Crashes {
-		h.printf("  %d crash(es): relative %.3f  retained %.2f\n", k, res.Relative[i], res.Degradation[i])
+		h.printf("  %d crash(es): relative %.3f  retained %.2f  (measured: %d crashes, %d restarts)\n",
+			k, res.Relative[i], res.Degradation[i], res.MeasuredCrashes[i], res.MeasuredRestarts[i])
 	}
 	h.printf("\n")
 	return res

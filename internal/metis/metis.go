@@ -16,8 +16,17 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stream"
+)
+
+// Partitioner work counters (observation only; MetisPartition is in the
+// bench gate, so the cost is one atomic add per call plus one per refine
+// pass — noise next to the multilevel pipeline itself).
+var (
+	obsPartitions   = obs.Default.Counter("metis_partitions_total")
+	obsRefinePasses = obs.Default.Counter("metis_refine_passes_total")
 )
 
 // Options tunes the partitioner.
@@ -171,6 +180,7 @@ func fromStream(g *stream.Graph) *wgraph {
 
 // Partition assigns each operator of g to one of opts.Parts devices.
 func Partition(g *stream.Graph, opts Options) *stream.Placement {
+	obsPartitions.Inc()
 	opts = opts.withDefaults()
 	wg := fromStream(g)
 	part := partitionWGraph(wg, opts)
@@ -342,6 +352,7 @@ func refine(g *wgraph, part []int, opts Options, rng *rand.Rand) {
 	}
 	conn := make([]float64, opts.Parts) // reused across nodes
 	for pass := 0; pass < opts.RefinePasses; pass++ {
+		obsRefinePasses.Inc()
 		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 		improved := false
 		for _, v := range order {

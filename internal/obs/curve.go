@@ -1,0 +1,111 @@
+// curve.go implements the JSONL training-curve sink: one JSON object
+// per optimizer step, append-only, trivially parseable by pandas /
+// jq / gnuplot. The paper's evaluation is entirely curves (relative
+// throughput over training, convergence per curriculum level); this is
+// the file those curves are plotted from.
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+)
+
+// CurveRecord is one optimizer step of the training curve. PhaseMS maps
+// phase name → wall milliseconds spent in that phase during the step
+// (summed across batch entries for the worker-side phases, so it is CPU
+// time, not critical-path time, under data-parallel training).
+type CurveRecord struct {
+	Step         int                `json:"step"`
+	Level        int                `json:"level"`
+	Epoch        int                `json:"epoch"`
+	Graphs       int                `json:"graphs"`
+	Reward       float64            `json:"reward"`
+	Baseline     float64            `json:"baseline"`
+	Loss         float64            `json:"loss"`
+	Entropy      float64            `json:"entropy"`
+	GradNorm     float64            `json:"grad_norm"`
+	CacheHitRate float64            `json:"cache_hit_rate"`
+	BufferHits   int                `json:"buffer_hits"`
+	PhaseMS      map[string]float64 `json:"phase_ms,omitempty"`
+}
+
+// CurveWriter appends CurveRecords as JSON lines. Safe for concurrent
+// use; nil-safe (a nil writer drops records), so the trainer carries a
+// *CurveWriter unconditionally and the disabled path costs a nil check.
+type CurveWriter struct {
+	mu  sync.Mutex
+	f   *os.File // non-nil when CreateCurve opened the sink
+	enc *json.Encoder
+	n   int
+	err error
+}
+
+// CreateCurve opens (truncating) a JSONL curve file at path.
+func CreateCurve(path string) (*CurveWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &CurveWriter{f: f, enc: json.NewEncoder(f)}, nil
+}
+
+// NewCurveWriter wraps an arbitrary encoder sink (tests, buffers).
+func NewCurveWriter(enc *json.Encoder) *CurveWriter {
+	return &CurveWriter{enc: enc}
+}
+
+// Write appends one record. No-op on a nil writer; after the first
+// write error the writer goes inert and the error is kept for Err.
+func (c *CurveWriter) Write(rec CurveRecord) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return
+	}
+	if err := c.enc.Encode(rec); err != nil {
+		c.err = err
+		return
+	}
+	c.n++
+}
+
+// Len returns the number of records written so far (0 on nil).
+func (c *CurveWriter) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Err returns the first write error, if any.
+func (c *CurveWriter) Err() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Close flushes and closes a file-backed writer (no-op otherwise). It
+// returns the first write error even for non-file sinks.
+func (c *CurveWriter) Close() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f != nil {
+		if err := c.f.Close(); err != nil && c.err == nil {
+			c.err = err
+		}
+		c.f = nil
+	}
+	return c.err
+}

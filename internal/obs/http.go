@@ -1,0 +1,81 @@
+// http.go exposes the registry over HTTP: /metrics serves the
+// Prometheus text exposition, /debug/vars the standard expvar JSON
+// (cmdline, memstats, plus the registry snapshot under "obs"). The
+// endpoint is opt-in (-listen on the CLIs) and runs on its own mux, so
+// it never collides with an application's DefaultServeMux.
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// expvarReg is the registry /debug/vars reads through the "obs" var.
+// Swappable so tests with private registries see their own metrics;
+// published into expvar's process-global namespace exactly once.
+var (
+	expvarReg  atomic.Pointer[Registry]
+	expvarOnce sync.Once
+)
+
+func publishExpvar(reg *Registry) {
+	expvarReg.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("obs", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot()
+		}))
+	})
+}
+
+// Handler returns the observability mux: /metrics (Prometheus text) and
+// /debug/vars (expvar JSON including the registry snapshot).
+func Handler(reg *Registry) http.Handler {
+	if reg == nil {
+		reg = Default
+	}
+	publishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.Snapshot().WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the endpoint on addr (":0" picks a free port) and
+// returns immediately; requests are handled on a background goroutine.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the endpoint.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

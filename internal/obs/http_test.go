@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMetricsRoundTrip scrapes /metrics over a real HTTP round-trip and
+// checks the Prometheus exposition carries the registry's state.
+func TestMetricsRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("train_steps_total").Add(42)
+	reg.Gauge("epoch_reward").Set(0.875)
+	h := reg.Histogram("phase_ms", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(50)
+
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE train_steps_total counter",
+		"train_steps_total 42",
+		"# TYPE epoch_reward gauge",
+		"epoch_reward 0.875",
+		"# TYPE phase_ms histogram",
+		`phase_ms_bucket{le="1"} 1`,
+		`phase_ms_bucket{le="+Inf"} 2`,
+		"phase_ms_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDebugVars checks /debug/vars serves expvar JSON including the
+// registry snapshot under "obs".
+func TestDebugVars(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("vars_probe_total").Add(7)
+
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		Cmdline  []string `json:"cmdline"`
+		Memstats any      `json:"memstats"`
+		Obs      Snapshot `json:"obs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if vars.Memstats == nil {
+		t.Fatal("expvar memstats missing")
+	}
+	found := false
+	for _, c := range vars.Obs.Counters {
+		if c.Name == "vars_probe_total" && c.Value == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("registry snapshot missing from /debug/vars: %+v", vars.Obs)
+	}
+}
+
+// TestServeLifecycle starts a live listener on :0, scrapes it, and shuts
+// it down — the exact path `coarsenrl -listen :0` exercises.
+func TestServeLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("live_total").Inc()
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Addr() == "" {
+		t.Fatal("no bound address")
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "live_total 1") {
+		t.Fatalf("live scrape missing counter:\n%s", body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelWarn)
+	l.Debugf("d")
+	l.Infof("i")
+	l.Warnf("w %d", 1)
+	l.Errorf("e")
+	out := buf.String()
+	if strings.Contains(out, "DEBUG") || strings.Contains(out, "INFO") {
+		t.Fatalf("quiet default leaked low-severity lines:\n%s", out)
+	}
+	if !strings.Contains(out, "WARN  w 1") || !strings.Contains(out, "ERROR e") {
+		t.Fatalf("missing warn/error lines:\n%s", out)
+	}
+
+	buf.Reset()
+	l.SetLevel(LevelDebug)
+	l.Debugf("verbose")
+	if !strings.Contains(buf.String(), "DEBUG verbose") {
+		t.Fatalf("-v level did not emit debug:\n%s", buf.String())
+	}
+	if l.Level() != LevelDebug {
+		t.Fatalf("level = %v", l.Level())
+	}
+}
+
+func TestDefaultLoggerIsQuiet(t *testing.T) {
+	if Log.Level() != LevelWarn {
+		t.Fatalf("default logger level = %v, want Warn (quiet default)", Log.Level())
+	}
+}
+
+func TestLoggerConcurrentUse(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Infof("line")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := strings.Count(buf.String(), "\n"); got != 800 {
+		t.Fatalf("got %d lines, want 800 (interleaved writes?)", got)
+	}
+}
+
+func TestCurveWriterJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	cw := NewCurveWriter(json.NewEncoder(&buf))
+	for i := 0; i < 3; i++ {
+		cw.Write(CurveRecord{Step: i + 1, Reward: 0.5, PhaseMS: map[string]float64{"encode": 1.5}})
+	}
+	if cw.Len() != 3 {
+		t.Fatalf("len = %d", cw.Len())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	for i, line := range lines {
+		var rec CurveRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not JSON: %v", i, err)
+		}
+		if rec.Step != i+1 {
+			t.Fatalf("line %d step = %d", i, rec.Step)
+		}
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateCurveFile(t *testing.T) {
+	path := t.TempDir() + "/curve.jsonl"
+	cw, err := CreateCurve(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw.Write(CurveRecord{Step: 1})
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec CurveRecord
+	if err := json.Unmarshal(bytes.TrimSpace(data), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Step != 1 {
+		t.Fatalf("step = %d", rec.Step)
+	}
+}

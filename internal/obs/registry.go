@@ -1,0 +1,339 @@
+// Package obs is the repository's zero-dependency observability layer:
+// a concurrent metrics registry (counters, gauges, fixed-bucket
+// histograms), a span tracer exporting Chrome trace-event JSON, a JSONL
+// training-curve sink, a leveled logger, and an HTTP exposition endpoint
+// (/metrics Prometheus text + /debug/vars expvar) — all built on the
+// standard library only.
+//
+// Design contract:
+//
+//   - Hot paths are atomic. Counter.Add, Gauge.Set, and
+//     Histogram.Observe are lock-free; Snapshot takes the registry
+//     mutex only to enumerate metric names, never blocking writers.
+//   - Everything is nil-safe. Methods on nil *Counter, *Gauge,
+//     *Histogram, *Tracer, *Span, *CurveWriter, and *Logger are no-ops,
+//     so instrumented code needs no "is observability on?" branches —
+//     disabled instrumentation costs a nil check or a single atomic add.
+//   - Observation only. Nothing in this package feeds back into the code
+//     it observes: enabling metrics, traces, or curves must never change
+//     a training trajectory or a simulation result (the determinism
+//     contract of the trainer is tested with instrumentation enabled).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can move in both directions.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds d to the gauge. No-op on a nil gauge.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		cur := math.Float64frombits(old)
+		if g.bits.CompareAndSwap(old, math.Float64bits(cur+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations <= Bounds[i]; one extra overflow bucket counts the rest.
+// Observe is lock-free; the sum is accumulated with a CAS loop.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1, last = +Inf overflow
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one value. No-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		cur := math.Float64frombits(old)
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+// Bounds returns the (sorted) upper bucket bounds.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// HistogramSnapshot is the point-in-time view of one histogram.
+type HistogramSnapshot struct {
+	// Bounds are the upper bucket bounds; Buckets[i] counts observations
+	// <= Bounds[i]. Buckets has one extra overflow entry (> last bound).
+	Bounds  []float64 `json:"bounds"`
+	Buckets []uint64  `json:"buckets"`
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+}
+
+// MetricValue pairs a metric name with a scalar value in a snapshot.
+type MetricValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramValue pairs a histogram name with its snapshot.
+type HistogramValue struct {
+	Name string `json:"name"`
+	HistogramSnapshot
+}
+
+// Snapshot is a deterministic (name-sorted) view of a registry. Values
+// are read without stopping writers, so a snapshot taken mid-update is
+// internally consistent per metric but not across metrics — exactly the
+// guarantee scrape-based monitoring needs.
+type Snapshot struct {
+	Counters   []MetricValue    `json:"counters"`
+	Gauges     []MetricValue    `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// Registry is a concurrent metric namespace. Metric lookup/creation
+// takes a mutex; the returned handles are lock-free, so hot code should
+// resolve its handles once (package var or struct field) and hammer
+// those.
+type Registry struct {
+	mu     sync.Mutex
+	ctrs   map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:   make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry. Package-level instrumentation
+// (sim, runtime, metis, the reward cache, the trainer) registers here so
+// a single -listen flag exposes everything without threading a handle
+// through every call signature.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil
+// registry returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (bounds are ignored for an existing
+// histogram). A nil registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns a deterministic, name-sorted view of every metric.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	ctrs := make(map[string]*Counter, len(r.ctrs))
+	for k, v := range r.ctrs {
+		ctrs[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{}
+	for _, name := range sortedKeys(ctrs) {
+		snap.Counters = append(snap.Counters, MetricValue{Name: name, Value: float64(ctrs[name].Value())})
+	}
+	for _, name := range sortedKeys(gauges) {
+		snap.Gauges = append(snap.Gauges, MetricValue{Name: name, Value: gauges[name].Value()})
+	}
+	for _, name := range sortedKeys(hists) {
+		h := hists[name]
+		hs := HistogramSnapshot{Bounds: h.Bounds(), Count: h.Count(), Sum: h.Sum()}
+		hs.Buckets = make([]uint64, len(h.counts))
+		for i := range h.counts {
+			hs.Buckets[i] = h.counts[i].Load()
+		}
+		snap.Histograms = append(snap.Histograms, HistogramValue{Name: name, HistogramSnapshot: hs})
+	}
+	return snap
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters as `<name> <value>`, gauges likewise,
+// histograms as cumulative `_bucket{le="..."}` series plus `_sum` and
+// `_count`.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %v\n", c.Name, c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %v\n", g.Name, g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.Name); err != nil {
+			return err
+		}
+		cum := uint64(0)
+		for i, b := range h.Buckets {
+			cum += b
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%v", h.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.Name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %v\n%s_count %d\n", h.Name, h.Sum, h.Name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c_total") != c {
+		t.Fatal("counter lookup is not idempotent")
+	}
+
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+
+	h := r.Histogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("hist count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 555.5 {
+		t.Fatalf("hist sum = %v, want 555.5", h.Sum())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter should read 0")
+	}
+	g := r.Gauge("y")
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge should read 0")
+	}
+	h := r.Histogram("z", nil)
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Bounds() != nil {
+		t.Fatal("nil histogram should be inert")
+	}
+	if snap := r.Snapshot(); len(snap.Counters) != 0 {
+		t.Fatal("nil registry snapshot should be empty")
+	}
+
+	var tr *Tracer
+	tr.StartSpan("a", 0).End()
+	tr.Emit("b", 0, time.Now(), 0)
+	if tr.Len() != 0 {
+		t.Fatal("nil tracer should record nothing")
+	}
+
+	var cw *CurveWriter
+	cw.Write(CurveRecord{})
+	if cw.Len() != 0 || cw.Err() != nil || cw.Close() != nil {
+		t.Fatal("nil curve writer should be inert")
+	}
+
+	var lg *Logger
+	lg.Infof("dropped")
+	lg.SetLevel(LevelDebug)
+	if lg.Enabled(LevelError) {
+		t.Fatal("nil logger must report disabled")
+	}
+}
+
+// TestRegistryConcurrency hammers counters, gauges, and histograms from
+// many goroutines while snapshots run concurrently; run under -race this
+// is the registry's data-race proof, and the final counts prove no
+// increment was lost.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			c := r.Counter("hammer_total")
+			g := r.Gauge("hammer_gauge")
+			h := r.Histogram("hammer_hist", []float64{0.25, 0.5, 0.75})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%4) / 4)
+			}
+		}()
+	}
+	// Concurrent snapshotters racing the writers.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := r.Snapshot()
+			for _, h := range snap.Histograms {
+				var cum uint64
+				for _, b := range h.Buckets {
+					cum += b
+				}
+				// Buckets are read after count, so a racing snapshot may
+				// see more bucket increments than count — never fewer.
+				if cum < h.Count {
+					t.Errorf("snapshot histogram buckets sum %d < count %d", cum, h.Count)
+					return
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := r.Counter("hammer_total").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("hammer_gauge").Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %v, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("hammer_hist", nil).Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		r.Counter(n).Inc()
+		r.Gauge("g_" + n).Set(1)
+	}
+	snap := r.Snapshot()
+	wantC := []string{"alpha", "mid", "zeta"}
+	for i, mv := range snap.Counters {
+		if mv.Name != wantC[i] {
+			t.Fatalf("counter order %v, want %v", snap.Counters, wantC)
+		}
+	}
+	for i, mv := range snap.Gauges {
+		if mv.Name != "g_"+wantC[i] {
+			t.Fatalf("gauge order %v", snap.Gauges)
+		}
+	}
+	// Repeat snapshots are identical when nothing changed.
+	again := r.Snapshot()
+	for i := range snap.Counters {
+		if snap.Counters[i] != again.Counters[i] {
+			t.Fatal("snapshot not reproducible")
+		}
+	}
+}
+
+func TestWritePrometheusCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ms", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(99)
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`lat_ms_bucket{le="1"} 1`,
+		`lat_ms_bucket{le="2"} 2`,
+		`lat_ms_bucket{le="+Inf"} 3`,
+		"lat_ms_count 3",
+		"lat_ms_sum 101",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGaugeSpecialValues(t *testing.T) {
+	g := NewRegistry().Gauge("g")
+	g.Set(math.Inf(1))
+	if !math.IsInf(g.Value(), 1) {
+		t.Fatal("gauge must round-trip +Inf")
+	}
+	g.Set(-0.0)
+	g.Add(12.25)
+	if g.Value() != 12.25 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+}

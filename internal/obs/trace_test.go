@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceJSONSchema validates the exported file against the Chrome
+// trace-event schema: a top-level traceEvents array of complete ("X")
+// events with non-negative microsecond timestamps and durations, and
+// the (pid, tid) lanes the instrumentation assigns.
+func TestTraceJSONSchema(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.StartSpan("encode", 2)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.Emit("all-reduce", 0, time.Now().Add(-2*time.Millisecond), 2*time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			TS   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			PID  *int     `json:"pid"`
+			TID  *int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(file.TraceEvents))
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	names := map[string]bool{}
+	for _, ev := range file.TraceEvents {
+		names[ev.Name] = true
+		if ev.Ph != "X" {
+			t.Fatalf("event %q phase %q, want complete (X)", ev.Name, ev.Ph)
+		}
+		if ev.TS == nil || ev.Dur == nil || ev.PID == nil || ev.TID == nil {
+			t.Fatalf("event %q missing required fields: %+v", ev.Name, ev)
+		}
+		if *ev.Dur < 0 {
+			t.Fatalf("event %q negative duration %v", ev.Name, *ev.Dur)
+		}
+	}
+	if !names["encode"] || !names["all-reduce"] {
+		t.Fatalf("missing expected span names: %v", names)
+	}
+	// The measured span slept ~1ms; its duration must be in microseconds
+	// (≥ 500µs), not nanoseconds or milliseconds.
+	for _, ev := range file.TraceEvents {
+		if ev.Name == "encode" && (*ev.Dur < 500 || *ev.Dur > 1e6) {
+			t.Fatalf("encode dur %vµs implausible for a 1ms sleep", *ev.Dur)
+		}
+	}
+}
+
+func TestTracerEmptyWriteIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewTracer().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := file["traceEvents"].([]any); !ok {
+		t.Fatalf("traceEvents must be an array even when empty: %v", file)
+	}
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	const workers, spans = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < spans; i++ {
+				tr.StartSpan("work", w).End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != workers*spans {
+		t.Fatalf("recorded %d spans, want %d", tr.Len(), workers*spans)
+	}
+}
+
+func TestContextTracer(t *testing.T) {
+	// No tracer in context: Start yields an inert span.
+	Start(context.Background(), "noop").End()
+
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	if TracerFrom(ctx) != tr {
+		t.Fatal("TracerFrom did not round-trip")
+	}
+	Start(ctx, "ctx-span").End()
+	if tr.Len() != 1 {
+		t.Fatalf("ctx span not recorded: %d events", tr.Len())
+	}
+	if ev := tr.Events()[0]; ev.Name != "ctx-span" || ev.TID != 0 {
+		t.Fatalf("unexpected event %+v", ev)
+	}
+}
+
+func TestTracerWriteFile(t *testing.T) {
+	tr := NewTracer()
+	tr.StartSpan("x", 0).End()
+	path := t.TempDir() + "/trace.json"
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var file traceFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatal(err)
+	}
+	if len(file.TraceEvents) != 1 {
+		t.Fatalf("file has %d events, want 1", len(file.TraceEvents))
+	}
+}

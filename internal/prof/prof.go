@@ -11,6 +11,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+
+	"repro/internal/obs"
 )
 
 // Start begins CPU profiling when cpuPath is non-empty and returns a stop
@@ -38,12 +40,12 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 		if memPath != "" {
 			f, err := os.Create(memPath)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "prof: create mem profile: %v\n", err)
+				obs.Log.Warnf("prof: create mem profile: %v", err)
 				return
 			}
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "prof: write mem profile: %v\n", err)
+				obs.Log.Warnf("prof: write mem profile: %v", err)
 			}
 			f.Close()
 		}

@@ -1,0 +1,223 @@
+package rl
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// curveConfig is the seeded 3-step configuration the curve tests share.
+func curveConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Epochs = 1
+	cfg.PretrainEpochs = 1
+	cfg.OnPolicySamples = 2
+	cfg.Seed = 11
+	cfg.Quiet = true
+	return cfg
+}
+
+// trainWithSinks runs one seeded epoch on trainN graphs with the given
+// sinks attached and returns the per-epoch reward history plus the raw
+// JSONL bytes (empty when curve output is disabled).
+func trainWithSinks(t *testing.T, withCurve bool, tracer *obs.Tracer, workers int) ([]float64, []byte) {
+	t.Helper()
+	ds, m, pipe := quickSetup(t, 3)
+	cfg := curveConfig()
+	cfg.Tracer = tracer
+	if workers > 0 {
+		cfg.GraphBatch = 3
+		cfg.TrainWorkers = workers
+	}
+	var buf bytes.Buffer
+	if withCurve {
+		cfg.Curve = obs.NewCurveWriter(json.NewEncoder(&buf))
+	}
+	tr := NewTrainer(cfg, m, pipe)
+	if err := tr.TrainOn(ds.Train, ds.Cluster); err != nil {
+		t.Fatal(err)
+	}
+	return tr.History, buf.Bytes()
+}
+
+// stripPhases removes the wall-clock phase_ms field, which legitimately
+// varies run to run; everything else in a curve record is deterministic
+// for a fixed seed.
+func stripPhases(t *testing.T, raw []byte) []string {
+	t.Helper()
+	var out []string
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("curve line is not JSON: %v\n%s", err, line)
+		}
+		delete(rec, "phase_ms")
+		b, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, string(b))
+	}
+	return out
+}
+
+// TestCurveGoldenStructure is the golden-file test for the JSONL curve on
+// a seeded 3-step run: field-level structural assertions on every record,
+// plus run-twice byte determinism once the timing field is stripped.
+func TestCurveGoldenStructure(t *testing.T) {
+	_, raw := trainWithSinks(t, true, nil, 0)
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d curve records for 3 graphs × 1 epoch, want 3", len(lines))
+	}
+	for i, line := range lines {
+		var rec obs.CurveRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("record %d is not JSON: %v", i, err)
+		}
+		if rec.Step != i+1 {
+			t.Fatalf("record %d has step %d, want %d", i, rec.Step, i+1)
+		}
+		if rec.Graphs != 1 || rec.Epoch != 0 || rec.Level != 0 {
+			t.Fatalf("record %d has unexpected shape: %+v", i, rec)
+		}
+		if rec.Reward <= 0 || rec.Reward > 1 {
+			t.Fatalf("record %d reward %v outside (0, 1]", i, rec.Reward)
+		}
+		if rec.Baseline <= 0 || rec.Baseline > 1 {
+			t.Fatalf("record %d baseline %v outside (0, 1]", i, rec.Baseline)
+		}
+		if rec.Entropy < 0 || rec.Entropy > math.Log(2)+1e-9 {
+			t.Fatalf("record %d entropy %v outside [0, ln 2]", i, rec.Entropy)
+		}
+		if math.IsNaN(rec.Loss) || math.IsNaN(rec.GradNorm) || rec.GradNorm < 0 {
+			t.Fatalf("record %d loss/grad-norm invalid: %+v", i, rec)
+		}
+		if rec.CacheHitRate < 0 || rec.CacheHitRate > 1 {
+			t.Fatalf("record %d cache hit rate %v outside [0, 1]", i, rec.CacheHitRate)
+		}
+		if rec.BufferHits < 0 || rec.BufferHits > curveConfig().BufferSamples {
+			t.Fatalf("record %d buffer hits %d outside [0, %d]", i, rec.BufferHits, curveConfig().BufferSamples)
+		}
+		for _, ph := range []string{"encode", "sample", "simulate", "backward", "all_reduce"} {
+			if _, ok := rec.PhaseMS[ph]; !ok {
+				t.Fatalf("record %d missing phase %q: %v", i, ph, rec.PhaseMS)
+			}
+		}
+	}
+
+	// Run-twice determinism: identical seed → identical records modulo
+	// wall-clock phase timings.
+	_, raw2 := trainWithSinks(t, true, nil, 0)
+	a, b := stripPhases(t, raw), stripPhases(t, raw2)
+	if len(a) != len(b) {
+		t.Fatalf("reruns emitted %d vs %d records", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs across seeded reruns:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestInstrumentationDoesNotPerturbTrajectory trains with and without
+// sinks and asserts bit-identical reward histories — the observation-only
+// contract the obs package documents.
+func TestInstrumentationDoesNotPerturbTrajectory(t *testing.T) {
+	plainHist, _ := trainWithSinks(t, false, nil, 0)
+	obsHist, _ := trainWithSinks(t, true, obs.NewTracer(), 0)
+	if len(plainHist) != len(obsHist) {
+		t.Fatalf("history lengths differ: %d vs %d", len(plainHist), len(obsHist))
+	}
+	for i := range plainHist {
+		if plainHist[i] != obsHist[i] {
+			t.Fatalf("epoch %d reward differs with instrumentation: %v vs %v",
+				i, plainHist[i], obsHist[i])
+		}
+	}
+}
+
+// TestBatchedDeterminismWithInstrumentation runs the batched trainer with
+// 1 and 8 workers, both fully instrumented, and asserts bit-identical
+// curves (modulo timing) and histories — worker count must stay a pure
+// wall-clock knob even while every worker emits spans.
+func TestBatchedDeterminismWithInstrumentation(t *testing.T) {
+	hist1, raw1 := trainWithSinks(t, true, obs.NewTracer(), 1)
+	hist8, raw8 := trainWithSinks(t, true, obs.NewTracer(), 8)
+	if len(hist1) != len(hist8) {
+		t.Fatalf("history lengths differ: %d vs %d", len(hist1), len(hist8))
+	}
+	for i := range hist1 {
+		if hist1[i] != hist8[i] {
+			t.Fatalf("epoch %d reward differs across worker counts: %v vs %v",
+				i, hist1[i], hist8[i])
+		}
+	}
+	a, b := stripPhases(t, raw1), stripPhases(t, raw8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("curve record %d differs across worker counts:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestTrainerEmitsTraceSpans checks the tracer sees every training phase
+// with sane lanes after an instrumented run.
+func TestTrainerEmitsTraceSpans(t *testing.T) {
+	tracer := obs.NewTracer()
+	trainWithSinks(t, false, tracer, 2)
+	events := tracer.Events()
+	if len(events) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	seen := map[string]bool{}
+	for _, ev := range events {
+		seen[ev.Name] = true
+		if ev.Ph != "X" || ev.Dur < 0 || ev.TID < 0 {
+			t.Fatalf("malformed event %+v", ev)
+		}
+		if ev.Name == "all-reduce" && ev.TID != 0 {
+			t.Fatalf("all-reduce must be on the leader lane 0, got %+v", ev)
+		}
+	}
+	for _, name := range []string{"encode", "sample", "simulate", "backward", "all-reduce"} {
+		if !seen[name] {
+			t.Fatalf("missing %q spans in %v", name, seen)
+		}
+	}
+}
+
+// TestCurveLevelEpochProgress checks level/epoch stamping across a
+// two-epoch run: epoch advances in the records.
+func TestCurveLevelEpochProgress(t *testing.T) {
+	ds, m, pipe := quickSetup(t, 2)
+	cfg := curveConfig()
+	cfg.Epochs = 2
+	var buf bytes.Buffer
+	cfg.Curve = obs.NewCurveWriter(json.NewEncoder(&buf))
+	tr := NewTrainer(cfg, m, pipe)
+	if err := tr.TrainOn(ds.Train, ds.Cluster); err != nil {
+		t.Fatal(err)
+	}
+	var epochs []int
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec obs.CurveRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatal(err)
+		}
+		epochs = append(epochs, rec.Epoch)
+	}
+	want := []int{0, 0, 1, 1}
+	if len(epochs) != len(want) {
+		t.Fatalf("got %d records, want %d", len(epochs), len(want))
+	}
+	for i := range want {
+		if epochs[i] != want[i] {
+			t.Fatalf("epoch sequence %v, want %v", epochs, want)
+		}
+	}
+}

@@ -28,17 +28,29 @@ import (
 	"math"
 	randv2 "math/rand/v2"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gnn"
 	"repro/internal/metis"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/resilience"
 	"repro/internal/sim"
 	"repro/internal/stream"
 
 	"repro/internal/autodiff"
+)
+
+// Process-wide training metrics. The counters are always live (a few
+// atomic adds per optimizer step); the per-phase timing below is only
+// taken when a Tracer or Curve sink is configured.
+var (
+	obsSteps       = obs.Default.Counter("rl_train_steps_total")
+	obsDivergences = obs.Default.Counter("rl_divergences_total")
+	obsCacheHits   = obs.Default.Counter("reward_cache_hits_total")
+	obsCacheMisses = obs.Default.Counter("reward_cache_misses_total")
 )
 
 // Config controls one training run.
@@ -94,6 +106,17 @@ type Config struct {
 	Quiet bool
 	// Logf receives progress lines when non-nil (and Quiet is false).
 	Logf func(format string, args ...any)
+	// Tracer, when set, records per-phase spans (encode / sample /
+	// simulate / backward / all-reduce / checkpoint) on per-worker lanes,
+	// exportable as Chrome trace-event JSON. Observation only: phase
+	// timing never feeds back into training, so trajectories stay
+	// bit-identical with tracing on or off.
+	Tracer *obs.Tracer
+	// Curve, when set, receives one JSONL training-curve record per
+	// optimizer step (reward, baseline, loss, entropy, grad norm, cache
+	// hit rate, per-phase wall milliseconds). Same observation-only
+	// contract as Tracer.
+	Curve *obs.CurveWriter
 }
 
 // DefaultConfig mirrors the paper's hyperparameters at CPU scale.
@@ -205,6 +228,7 @@ func NewTrainer(cfg Config, model *core.Model, pipe *core.Pipeline) *Trainer {
 			size = 4096
 		}
 		cache = core.NewRewardCache(size)
+		cache.Instrument(obsCacheHits, obsCacheMisses)
 	}
 	return &Trainer{
 		Cfg:      cfg,
@@ -252,7 +276,7 @@ func (t *Trainer) logf(format string, args ...any) {
 		t.Cfg.Logf(format, args...)
 		return
 	}
-	fmt.Printf(format+"\n", args...)
+	obs.Log.Infof(format, args...)
 }
 
 // SeedMetisGuided populates the buffers with Metis-derived decisions for
@@ -333,6 +357,19 @@ func (t *Trainer) ensureReplicas(workers, entries int) {
 	}
 }
 
+// Phase indices for per-entry timing (curve + trace share one
+// measurement; see stepEntry).
+const (
+	phaseEncode = iota
+	phaseSample
+	phaseSimulate
+	phaseBackward
+	numPhases
+)
+
+// phaseNames maps phase indices to span/curve labels.
+var phaseNames = [numPhases]string{"encode", "sample", "simulate", "backward"}
+
 // stepResult is one batch entry's contribution, exported by a replica and
 // consumed by the leader in fixed graph-index order.
 type stepResult struct {
@@ -340,6 +377,13 @@ type stepResult struct {
 	hasLoss      bool
 	samples      []scored
 	onPolicyMean float64
+
+	// Observability payload (populated only when a Curve or Tracer is
+	// configured; zero-cost otherwise).
+	baseline   float64
+	entropy    float64
+	bufferHits int
+	phases     [numPhases]time.Duration
 }
 
 // stepEntry runs one graph's REINFORCE step on a replica binder: forward
@@ -347,11 +391,32 @@ type stepResult struct {
 // loss, backward, and gradient export into gs. It never touches the live
 // parameters, the optimizer, or the memory buffers — those belong to the
 // leader — so any number of entries can run concurrently.
-func (t *Trainer) stepEntry(binder *nn.Binder, seq uint64, gi int, g *stream.Graph, cluster sim.Cluster, gs *nn.GradSet, innerWorkers int) (stepResult, error) {
+func (t *Trainer) stepEntry(binder *nn.Binder, wid int, seq uint64, gi int, g *stream.Graph, cluster sim.Cluster, gs *nn.GradSet, innerWorkers int) (stepResult, error) {
+	var res stepResult
+	// Phase timing is taken only when a sink wants it; with observability
+	// off the whole apparatus is one boolean test. One measurement feeds
+	// both the tracer (span on this worker's lane) and the curve record.
+	timed := t.Cfg.Tracer != nil || t.Cfg.Curve != nil
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
+	mark := func(ph int) {
+		if !timed {
+			return
+		}
+		now := time.Now()
+		d := now.Sub(t0)
+		res.phases[ph] = d
+		t.Cfg.Tracer.Emit(phaseNames[ph], wid, t0, d)
+		t0 = now
+	}
+
 	f := gnn.BuildFeatures(g, cluster)
 	binder.Reset()
 	tape := binder.Tape
 	probs := t.Model.EdgeProbs(binder, f)
+	mark(phaseEncode)
 
 	// Draw on-policy samples from this visit's private substream.
 	rng := t.sampleRNG(seq, gi)
@@ -365,6 +430,21 @@ func (t *Trainer) stepEntry(binder *nn.Binder, seq uint64, gi int, g *stream.Gra
 		}
 		samples[s] = scored{d: d}
 	}
+	if t.Cfg.Curve != nil {
+		// Mean per-edge Bernoulli entropy of the policy — the curve's
+		// exploration signal. Reads probabilities only; never perturbs them.
+		var h float64
+		for i := 0; i < pv.Rows; i++ {
+			p := pv.Data[i]
+			if p > 1e-12 && p < 1-1e-12 {
+				h -= p*math.Log(p) + (1-p)*math.Log(1-p)
+			}
+		}
+		if pv.Rows > 0 {
+			res.entropy = h / float64(pv.Rows)
+		}
+	}
+	mark(phaseSample)
 	// Evaluate rewards (coarsen → partition → simulate), memoized on the
 	// exact decision bitset so a duplicate sample skips the pipeline
 	// entirely. A panic in one scorer surfaces here as an error; sibling
@@ -377,7 +457,8 @@ func (t *Trainer) stepEntry(binder *nn.Binder, seq uint64, gi int, g *stream.Gra
 	}); err != nil {
 		return stepResult{}, fmt.Errorf("rl: sample scoring on graph %d failed: %w", gi, err)
 	}
-	res := stepResult{samples: samples}
+	mark(phaseSimulate)
+	res.samples = samples
 	finiteN := 0
 	for _, s := range samples {
 		if isFinite(s.reward) {
@@ -407,6 +488,7 @@ func (t *Trainer) stepEntry(binder *nn.Binder, seq uint64, gi int, g *stream.Gra
 		}
 	}
 	batch = append(batch, buf[:take]...)
+	res.bufferHits = take
 	if len(batch) == 0 {
 		// Every sample diverged and the buffer is empty: contribute no
 		// gradient rather than feed NaNs to the optimizer.
@@ -429,6 +511,7 @@ func (t *Trainer) stepEntry(binder *nn.Binder, seq uint64, gi int, g *stream.Gra
 	if sd < 1e-3 {
 		sd = 1e-3
 	}
+	res.baseline = b
 
 	// Accumulate the policy-gradient loss on the tape. The advantage is
 	// divided by the edge count so the gradient scale is independent of
@@ -455,6 +538,7 @@ func (t *Trainer) stepEntry(binder *nn.Binder, seq uint64, gi int, g *stream.Gra
 		res.loss = scalarOf(loss)
 		res.hasLoss = true
 	}
+	mark(phaseBackward)
 	return res, nil
 }
 
@@ -493,7 +577,9 @@ func (t *Trainer) trainBatch(cluster sim.Cluster, batch []batchEntry, seqBase ui
 	}
 	results := make([]stepResult, nB)
 	err := resilience.ForEachWorker(nB, workers, func(w, j int) error {
-		res, err := t.stepEntry(t.reps[w], seqBase+uint64(j), batch[j].gi, batch[j].g, cluster, t.entryGrads[j], innerWorkers)
+		// Worker lanes are 1-based in the trace; lane 0 belongs to the
+		// leader (all-reduce, checkpoint).
+		res, err := t.stepEntry(t.reps[w], w+1, seqBase+uint64(j), batch[j].gi, batch[j].g, cluster, t.entryGrads[j], innerWorkers)
 		if err != nil {
 			return err
 		}
@@ -504,6 +590,11 @@ func (t *Trainer) trainBatch(cluster sim.Cluster, batch []batchEntry, seqBase ui
 		return 0, err
 	}
 
+	timed := t.Cfg.Tracer != nil || t.Cfg.Curve != nil
+	var tReduce time.Time
+	if timed {
+		tReduce = time.Now()
+	}
 	// Deterministic all-reduce: gradients fold into the live parameters
 	// by ascending graph index, so the floating-point summation order —
 	// and therefore the trajectory — is identical for any worker count.
@@ -515,6 +606,7 @@ func (t *Trainer) trainBatch(cluster sim.Cluster, batch []batchEntry, seqBase ui
 			hasLoss = true
 		}
 	}
+	var gradNorm float64
 	if hasLoss {
 		t.Model.PS.ZeroGrads()
 		for j := range results {
@@ -522,7 +614,15 @@ func (t *Trainer) trainBatch(cluster sim.Cluster, batch []batchEntry, seqBase ui
 				t.entryGrads[j].AddTo(t.Model.PS)
 			}
 		}
+		if t.Cfg.Curve != nil {
+			gradNorm = t.gradNorm()
+		}
 		t.applyUpdate(lossSum)
+	}
+	var dReduce time.Duration
+	if timed {
+		dReduce = time.Since(tReduce)
+		t.Cfg.Tracer.Emit("all-reduce", 0, tReduce, dReduce)
 	}
 
 	// Buffer updates and the reward sum also run in fixed order (graph
@@ -533,7 +633,57 @@ func (t *Trainer) trainBatch(cluster sim.Cluster, batch []batchEntry, seqBase ui
 		t.updateBuffer(batch[j].gi, results[j].samples)
 		rewardSum += results[j].onPolicyMean
 	}
+	obsSteps.Add(uint64(nB))
+	if cw := t.Cfg.Curve; cw != nil {
+		cw.Write(t.curveRecord(results, nB, rewardSum, lossSum, gradNorm, dReduce))
+	}
 	return rewardSum, nil
+}
+
+// gradNorm computes the L2 norm of the accumulated gradients (read-only;
+// taken before the optimizer consumes them).
+func (t *Trainer) gradNorm() float64 {
+	var sq float64
+	for _, p := range t.Model.PS.All() {
+		for _, g := range p.Grad.Data {
+			sq += g * g
+		}
+	}
+	return math.Sqrt(sq)
+}
+
+// curveRecord assembles one training-curve JSONL record from a finished
+// optimizer batch. Step numbering counts graph visits, matching the
+// autosave cadence (t.steps is advanced by the caller after the batch).
+func (t *Trainer) curveRecord(results []stepResult, nB int, rewardSum, lossSum, gradNorm float64, dReduce time.Duration) obs.CurveRecord {
+	rec := obs.CurveRecord{
+		Step:     t.steps + nB,
+		Level:    t.Pos.Level,
+		Epoch:    t.Pos.Epoch,
+		Graphs:   nB,
+		Reward:   rewardSum / float64(nB),
+		Loss:     lossSum,
+		GradNorm: gradNorm,
+		PhaseMS:  make(map[string]float64, numPhases+1),
+	}
+	for j := range results {
+		rec.Baseline += results[j].baseline
+		rec.Entropy += results[j].entropy
+		rec.BufferHits += results[j].bufferHits
+		for ph, d := range results[j].phases {
+			rec.PhaseMS[phaseNames[ph]] += float64(d) / float64(time.Millisecond)
+		}
+	}
+	rec.Baseline /= float64(nB)
+	rec.Entropy /= float64(nB)
+	rec.PhaseMS["all_reduce"] = float64(dReduce) / float64(time.Millisecond)
+	if t.Rewards != nil {
+		hits, misses := t.Rewards.Stats()
+		if hits+misses > 0 {
+			rec.CacheHitRate = float64(hits) / float64(hits+misses)
+		}
+	}
+	return rec
 }
 
 func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
@@ -581,6 +731,7 @@ func (t *Trainer) snapshotGood() {
 // divergence.
 func (t *Trainer) rollback(cause error) {
 	t.Divergences++
+	obsDivergences.Inc()
 	// Halve the *current* learning rate, not the snapshot's: repeated
 	// rollbacks without an intervening good step must keep compounding.
 	halved := t.Opt.LR / 2
@@ -735,7 +886,10 @@ func (t *Trainer) TrainOnCtx(ctx context.Context, graphs []*stream.Graph, cluste
 			t.sampleSeq += uint64(end - si)
 			si = end
 			if a := t.Cfg.AutosaveEvery; a > 0 && t.Cfg.CheckpointPath != "" && t.steps/a > stepsBefore/a {
-				if err := t.SaveCheckpoint(t.Cfg.CheckpointPath); err != nil {
+				sp := t.Cfg.Tracer.StartSpan("checkpoint", 0)
+				err := t.SaveCheckpoint(t.Cfg.CheckpointPath)
+				sp.End()
+				if err != nil {
 					return fmt.Errorf("rl: autosave failed: %w", err)
 				}
 			}
@@ -767,6 +921,8 @@ func (t *Trainer) halt(cause error) error {
 	if t.Cfg.CheckpointPath == "" {
 		return fmt.Errorf("rl: training interrupted: %w", cause)
 	}
+	sp := t.Cfg.Tracer.StartSpan("checkpoint", 0)
+	defer sp.End()
 	if serr := t.SaveCheckpoint(t.Cfg.CheckpointPath); serr != nil {
 		return fmt.Errorf("rl: training interrupted (%w); checkpoint also failed: %v", cause, serr)
 	}

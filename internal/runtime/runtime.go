@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stream"
 )
@@ -70,6 +71,16 @@ type Result struct {
 	SinkTuples float64
 	// Elapsed is the measured (post-warmup) window in simulated seconds.
 	Elapsed float64
+	// DeviceCrashes counts up→down transitions the device goroutines
+	// actually observed during the run — the measured injection count, as
+	// opposed to whatever the FaultPlan scheduled (a crash scheduled after
+	// the wall clock expires never happens).
+	DeviceCrashes int
+	// DeviceRestarts counts state-wiping restarts devices executed.
+	DeviceRestarts int
+	// LinkRetunes counts NIC rate changes the link-fault controller
+	// applied (degradations and recoveries).
+	LinkRetunes int
 }
 
 // batch is one channel message.
@@ -217,6 +228,13 @@ func Run(g *stream.Graph, p *stream.Placement, c sim.Cluster, cfg Config) (Resul
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.WallTime)
 	defer cancel()
 
+	// Measured fault-injection counts. Each device goroutine owns its own
+	// slice slot and the controller goroutine owns linkRetunes; wg.Wait
+	// orders their final writes before the summation below.
+	crashCount := make([]int, c.Devices)
+	restartCount := make([]int, c.Devices)
+	var linkRetunes int
+
 	var wg sync.WaitGroup
 	for d := 0; d < c.Devices; d++ {
 		if len(devOps[d]) == 0 {
@@ -234,11 +252,15 @@ func Run(g *stream.Graph, p *stream.Placement, c sim.Cluster, cfg Config) (Resul
 				// Fault injection: a crashed device does nothing; its full
 				// input channels backpressure the rest of the graph.
 				if faults.deviceDown(d, now.Sub(start)) {
+					if !crashed {
+						crashCount[d]++
+					}
 					crashed = true
 					time.Sleep(200 * time.Microsecond)
 					continue
 				}
 				if crashed {
+					restartCount[d]++
 					// Restart with empty state: queued tuples, residual
 					// output, NIC credits, and in-flight channel contents
 					// are lost, as they would be on a real machine.
@@ -461,6 +483,7 @@ func Run(g *stream.Graph, p *stream.Placement, c sim.Cluster, cfg Config) (Resul
 						f := faults.linkFactor(d, elapsed)
 						if f != current[d] {
 							current[d] = f
+							linkRetunes++
 							egress[d].setRate(c.Bandwidth*cfg.TimeScale*f, now)
 							ingress[d].setRate(c.Bandwidth*cfg.TimeScale*f, now)
 						}
@@ -499,5 +522,24 @@ func Run(g *stream.Graph, p *stream.Placement, c sim.Cluster, cfg Config) (Resul
 	if rel > 1 {
 		rel = 1
 	}
-	return Result{Relative: rel, SinkTuples: sinks, Elapsed: simWindow}, nil
+	res := Result{Relative: rel, SinkTuples: sinks, Elapsed: simWindow}
+	for d := 0; d < c.Devices; d++ {
+		res.DeviceCrashes += crashCount[d]
+		res.DeviceRestarts += restartCount[d]
+	}
+	res.LinkRetunes = linkRetunes
+	obsRuns.Inc()
+	obsCrashes.Add(uint64(res.DeviceCrashes))
+	obsRestarts.Add(uint64(res.DeviceRestarts))
+	obsRetunes.Add(uint64(res.LinkRetunes))
+	return res, nil
 }
+
+// Process-wide fault-injection metrics, fed from the measured per-run
+// counts above (observation only — never read back by the runtime).
+var (
+	obsRuns     = obs.Default.Counter("runtime_runs_total")
+	obsCrashes  = obs.Default.Counter("runtime_device_crashes_total")
+	obsRestarts = obs.Default.Counter("runtime_device_restarts_total")
+	obsRetunes  = obs.Default.Counter("runtime_link_retunes_total")
+)

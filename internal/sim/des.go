@@ -167,12 +167,21 @@ func SimulateDES(g *stream.Graph, p *stream.Placement, c Cluster, cfg DESConfig)
 		return frac
 	}
 
+	var eventCount uint64
 	for events.Len() > 0 {
 		ev := heap.Pop(events).(desEvent)
 		if ev.at >= cfg.Horizon {
 			continue
 		}
+		eventCount++
 		d := ev.device
+		// Backpressure signature: total tuples queued on this device at
+		// quantum start (observed, never fed back into the simulation).
+		var depth float64
+		for _, v := range devOps[d] {
+			depth += queues[v]
+		}
+		obsDESQueueDepth.Observe(depth)
 		// Refill this device's budgets for the quantum.
 		instr := c.CapacityOf(d) * cfg.Quantum
 		egressBudget[d] = c.Bandwidth * cfg.Quantum
@@ -237,6 +246,9 @@ func SimulateDES(g *stream.Graph, p *stream.Placement, c Cluster, cfg DESConfig)
 		heap.Push(events, desEvent{at: ev.at + cfg.Quantum, device: d, seq: seq})
 		seq++
 	}
+
+	obsDESRuns.Inc()
+	obsDESEvents.Add(eventCount)
 
 	// Throughput: measured sink completion rate normalized by the ideal
 	// sink rate, scaled to the source rate (the same relative measure the

@@ -144,6 +144,7 @@ func Simulate(g *stream.Graph, p *stream.Placement, c Cluster) (Result, error) {
 	if p.Devices > c.Devices {
 		return Result{}, fmt.Errorf("sim: placement uses %d devices, cluster has %d", p.Devices, c.Devices)
 	}
+	obsFluidRuns.Inc()
 	load := g.NodeLoad()
 	traffic := g.EdgeTraffic()
 
@@ -235,6 +236,7 @@ func SimulateIterative(g *stream.Graph, p *stream.Placement, c Cluster) (Result,
 	if err := p.Validate(g); err != nil {
 		return Result{}, err
 	}
+	obsIterativeRuns.Inc()
 	load := g.NodeLoad()
 	traffic := g.EdgeTraffic()
 
