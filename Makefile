@@ -3,12 +3,13 @@ BENCH_OUT ?= BENCH_2
 
 # Regression-gate knobs: the stable micro set measured by bench-gate, the
 # committed baseline it compares against, and the per-metric threshold in
-# percent (applies to ns/op and allocs/op; min-of-count filters noise).
-BENCH_FILTER ?= 'BenchmarkGNNEncode|BenchmarkMetisPartition|BenchmarkCoarsenAllocate|BenchmarkSimulate$$|BenchmarkTrainEpoch'
+# percent (applies to ns/op, allocs/op and — for benchmarks with MxKxN dims
+# in the name — GFLOP/s; min-of-count filters noise).
+BENCH_FILTER ?= 'BenchmarkGNNEncode|BenchmarkMatMul$$|BenchmarkMetisPartition|BenchmarkCoarsenAllocate|BenchmarkSimulate$$|BenchmarkTrainEpoch'
 BENCH_BASELINE ?= BENCH_BASELINE.json
 BENCH_THRESHOLD ?= 10
 
-.PHONY: build test check race vet bench bench-smoke bench-gate bench-baseline benchdiff curve
+.PHONY: build test check race vet fmt bench bench-smoke bench-gate bench-baseline bench-kernels benchdiff curve
 
 build:
 	$(GO) build ./...
@@ -19,6 +20,11 @@ test: build
 
 vet:
 	$(GO) vet ./...
+
+# Formatting gate: fail when any tracked Go file is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 race:
 	$(GO) test -race ./...
@@ -36,9 +42,10 @@ curve:
 		-pretrain 0 -epochs 1 -quiet -curve-out .curve.jsonl
 	$(GO) run ./cmd/curvecheck .curve.jsonl
 
-# Full pre-merge check: vet + race-detected tests + benchmark smoke run +
-# observability smoke + regression gate against the committed baseline.
-check: vet race bench-smoke curve bench-gate
+# Full pre-merge check: formatting + vet + race-detected tests + benchmark
+# smoke run + observability smoke + regression gate against the committed
+# baseline.
+check: fmt vet race bench-smoke curve bench-gate
 
 # Regression gate: measure the stable micro set (min of -count=3) and fail
 # when any benchmark regressed more than BENCH_THRESHOLD percent in ns/op
@@ -52,6 +59,12 @@ bench-gate:
 bench-baseline:
 	$(GO) test -run=NONE -bench=$(BENCH_FILTER) -benchmem -count=3 . > .bench_gate.txt
 	$(GO) run ./cmd/benchjson .bench_gate.txt > $(BENCH_BASELINE)
+
+# Compute-kernel microbenchmarks with GFLOP/s: the blocked MatMul variants
+# plus the transposed/fused kernels behind the autodiff tape ops.
+bench-kernels:
+	$(GO) test -run=NONE -bench='BenchmarkMatMul$$|BenchmarkKernels' -benchmem -count=3 . | tee .bench_kernels.txt
+	$(GO) run ./cmd/benchjson .bench_kernels.txt > .bench_kernels.json
 
 # Ad-hoc comparison of two recorded JSON reports:
 #   make benchdiff BENCH_PREV=BENCH_1.json BENCH_NEW=BENCH_2.json

@@ -1,6 +1,7 @@
 package streamcoarsen
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"sync"
@@ -172,22 +173,39 @@ func BenchmarkSimulatorModes(b *testing.B) {
 
 // Micro-benchmarks for the substrates.
 
+// matMulShapes is shared by the allocating and destination-passing MatMul
+// variants. Names embed MxKxN so benchjson can derive FLOPs (2·m·k·n) and
+// report GFLOP/s. The square sizes track raw kernel throughput; the encode
+// shapes are the tall-skinny products the GNN encoder actually runs
+// (E×2M · 2M×M message transform, N×2M · 2M×M node update at M=24).
+var matMulShapes = []struct {
+	tag     string
+	m, k, n int
+}{
+	{"square", 32, 32, 32},
+	{"square", 128, 128, 128},
+	{"square", 512, 512, 512},
+	{"encode-msg", 2048, 48, 24},
+	{"encode-update", 460, 48, 24},
+}
+
 func BenchmarkMatMul(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
-	for _, n := range []int{32, 128, 512} {
-		x := tensor.New(n, n)
-		y := tensor.New(n, n)
+	for _, s := range matMulShapes {
+		x := tensor.New(s.m, s.k)
+		y := tensor.New(s.k, s.n)
 		x.RandUniform(rng, 1)
 		y.RandUniform(rng, 1)
-		b.Run(sizeName(n), func(b *testing.B) {
+		name := fmt.Sprintf("%s-%dx%dx%d", s.tag, s.m, s.k, s.n)
+		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				tensor.MatMul(x, y)
 			}
 		})
-		b.Run(sizeName(n)+"-into", func(b *testing.B) {
+		b.Run(name+"-into", func(b *testing.B) {
 			b.ReportAllocs()
-			dst := tensor.New(n, n)
+			dst := tensor.New(s.m, s.n)
 			for i := 0; i < b.N; i++ {
 				tensor.MatMulInto(x, y, dst)
 			}
@@ -195,15 +213,69 @@ func BenchmarkMatMul(b *testing.B) {
 	}
 }
 
-func sizeName(n int) string {
-	switch n {
-	case 32:
-		return "32x32"
-	case 128:
-		return "128x128"
-	default:
-		return "512x512"
+// BenchmarkKernels covers the transposed-product and fused kernels behind
+// the autodiff tape ops (make bench-kernels). Names embed the dims of the
+// equivalent plain product so GFLOP/s is comparable with BenchmarkMatMul.
+func BenchmarkKernels(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	const e, m2, m = 2048, 48, 24 // encoder message-transform shape
+	h := tensor.New(e/4, m2)      // node embeddings (E/4 nodes)
+	w := tensor.New(m2, m)
+	wT2 := tensor.New(m, m2)
+	add := tensor.New(e, m)
+	bias := tensor.New(1, m)
+	for _, mt := range []*tensor.Matrix{h, w, wT2, add, bias} {
+		mt.RandUniform(rng, 1)
 	}
+	idx := make([]int, e)
+	for i := range idx {
+		idx[i] = rng.Intn(h.Rows)
+	}
+	gathered := tensor.New(e, m2)
+	tensor.GatherRowsInto(h, idx, gathered)
+
+	b.Run(fmt.Sprintf("matmulT1-%dx%dx%d", m2, e, m), func(b *testing.B) {
+		b.ReportAllocs()
+		dst := tensor.New(m2, m)
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulT1Into(gathered, add, dst)
+		}
+	})
+	b.Run(fmt.Sprintf("matmulT2-%dx%dx%d", e, m2, m), func(b *testing.B) {
+		b.ReportAllocs()
+		dst := tensor.New(e, m)
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulT2Into(gathered, wT2, dst)
+		}
+	})
+	b.Run(fmt.Sprintf("matmul-tanh-%dx%dx%d", e, m2, m), func(b *testing.B) {
+		b.ReportAllocs()
+		dst := tensor.New(e, m)
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulTanhInto(gathered, w, dst)
+		}
+	})
+	b.Run(fmt.Sprintf("gather-matmul-add-tanh-%dx%dx%d", e, m2, m), func(b *testing.B) {
+		b.ReportAllocs()
+		dst := tensor.New(e, m)
+		for i := 0; i < b.N; i++ {
+			tensor.GatherMatMulAddTanhInto(h, idx, w, add, dst)
+		}
+	})
+	b.Run(fmt.Sprintf("affine-tanh-%dx%dx%d", e, m2, m), func(b *testing.B) {
+		b.ReportAllocs()
+		dst := tensor.New(e, m)
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulT2BiasTanhInto(gathered, wT2, bias, dst)
+		}
+	})
+	b.Run("tanh-into-2048x48", func(b *testing.B) {
+		b.ReportAllocs()
+		dst := tensor.New(e, m2)
+		for i := 0; i < b.N; i++ {
+			tensor.TanhInto(gathered, dst)
+		}
+	})
 }
 
 func BenchmarkGNNEncode(b *testing.B) {

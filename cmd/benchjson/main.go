@@ -10,9 +10,14 @@
 //	benchjson bench.txt > BENCH_1.json
 //	benchjson before.txt after.txt > BENCH_1.json   # {"before": …, "after": …}
 //
+// Compute benchmarks that embed their problem dims in the name (e.g.
+// BenchmarkMatMul/square-128x128x128) additionally get a "gflops" field:
+// 2·m·k·n FLOPs divided by ns/op.
+//
 // Regression gate: compare two previously emitted JSON reports and exit
 // non-zero when any benchmark regressed by more than the threshold
-// (percent, default 10) in ns/op or allocs/op:
+// (percent, default 10) in ns/op or allocs/op — or, for benchmarks with
+// dims in the name, dropped more than the threshold in GFLOP/s:
 //
 //	benchjson -diff BENCH_prev.json BENCH_new.json
 //	benchjson -diff -threshold 5 BENCH_prev.json BENCH_new.json
@@ -40,7 +45,31 @@ type record struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	GFLOPs      float64 `json:"gflops,omitempty"`
 	Raw         string  `json:"raw"`
+}
+
+// dimsPattern extracts the MxKxN problem dims that compute benchmarks embed
+// in their names (e.g. BenchmarkMatMul/square-128x128x128-into). A matmul
+// of those dims costs 2·m·k·n FLOPs, which turns ns/op into GFLOP/s.
+var dimsPattern = regexp.MustCompile(`(\d+)x(\d+)x(\d+)`)
+
+// flopsFor returns the per-op FLOP count encoded in a benchmark name, or 0
+// when the name carries no dims.
+func flopsFor(name string) float64 {
+	m := dimsPattern.FindStringSubmatch(name)
+	if m == nil {
+		return 0
+	}
+	d := make([]float64, 3)
+	for i := 0; i < 3; i++ {
+		v, err := strconv.ParseFloat(m[i+1], 64)
+		if err != nil {
+			return 0
+		}
+		d[i] = v
+	}
+	return 2 * d[0] * d[1] * d[2]
 }
 
 type report struct {
@@ -143,6 +172,7 @@ type benchPoint struct {
 	ns     float64
 	allocs float64
 	hasMem bool
+	gflops float64 // derived from name dims and min ns; 0 when dimless
 }
 
 // gomaxprocsSuffix strips the trailing "-N" parallelism tag Go appends to
@@ -164,6 +194,9 @@ func summarize(rep *report) map[string]benchPoint {
 		if hasMem && (!p.hasMem || r.AllocsPerOp < p.allocs) {
 			p.allocs = r.AllocsPerOp
 			p.hasMem = true
+		}
+		if flops := flopsFor(name); flops > 0 && p.ns > 0 {
+			p.gflops = flops / p.ns
 		}
 		out[name] = p
 	}
@@ -235,6 +268,12 @@ func runDiff(prevPath, newPath string, threshold float64) int {
 			line += fmt.Sprintf("   allocs/op %8.0f -> %8.0f  %+7.2f%%", o.allocs, p.allocs, dal)
 			bad = bad || dal > threshold
 		}
+		if o.gflops > 0 && p.gflops > 0 {
+			// A GFLOP/s drop is a throughput regression: gate on -threshold.
+			dgf := pctDelta(o.gflops, p.gflops)
+			line += fmt.Sprintf("   GFLOP/s %6.2f -> %6.2f  %+7.2f%%", o.gflops, p.gflops, dgf)
+			bad = bad || dgf < -threshold
+		}
 		if bad {
 			line += "   REGRESSION"
 			regressions++
@@ -284,6 +323,9 @@ func parseBenchLine(line string) (record, bool) {
 		case "allocs/op":
 			r.AllocsPerOp = val
 		}
+	}
+	if flops := flopsFor(r.Name); flops > 0 && r.NsPerOp > 0 {
+		r.GFLOPs = flops / r.NsPerOp
 	}
 	return r, true
 }

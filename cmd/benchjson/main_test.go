@@ -103,3 +103,48 @@ func TestLoadReportRejectsGarbage(t *testing.T) {
 		t.Fatalf("want parse rejection, got %v", err)
 	}
 }
+
+func TestFlopsForParsesDims(t *testing.T) {
+	if got := flopsFor("BenchmarkMatMul/square-128x128x128-into"); got != 2*128*128*128 {
+		t.Fatalf("flopsFor dims = %g", got)
+	}
+	if got := flopsFor("BenchmarkMatMul/encode-msg-2048x48x24"); got != 2*2048*48*24 {
+		t.Fatalf("flopsFor encode dims = %g", got)
+	}
+	if got := flopsFor("BenchmarkGNNEncode/large"); got != 0 {
+		t.Fatalf("dimless name must have 0 flops, got %g", got)
+	}
+}
+
+func TestParseBenchLineComputesGFLOPs(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkMatMul/square-128x128x128-8   100   4194304 ns/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	// 2*128^3 flops / 4194304 ns = 1 GFLOP/s exactly.
+	if r.GFLOPs != 1 {
+		t.Fatalf("gflops = %g, want 1", r.GFLOPs)
+	}
+}
+
+func TestSummarizeDerivesGFLOPsFromMinNs(t *testing.T) {
+	s := summarize(&report{Benchmarks: []record{
+		rec("BenchmarkMatMul/square-128x128x128-8", 8388608, 4),
+		rec("BenchmarkMatMul/square-128x128x128-8", 4194304, 4),
+	}})
+	p := s["BenchmarkMatMul/square-128x128x128"]
+	if p.gflops != 1 {
+		t.Fatalf("gflops from min ns = %g, want 1", p.gflops)
+	}
+}
+
+func TestRunDiffFailsOnGFLOPsRegression(t *testing.T) {
+	dir := t.TempDir()
+	// Same allocs; ns/op grows 30% so throughput drops ~23% — both the
+	// ns/op and the GFLOP/s gates should flag it, and the exit code is 1.
+	prev := writeReport(t, dir, "prev.json", []record{rec("BenchmarkMatMul/square-64x64x64", 1000, 4)})
+	next := writeReport(t, dir, "next.json", []record{rec("BenchmarkMatMul/square-64x64x64", 1300, 4)})
+	if code := runDiff(prev, next, 10); code != 1 {
+		t.Fatalf("throughput regression must fail the gate, got exit %d", code)
+	}
+}

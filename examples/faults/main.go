@@ -45,12 +45,12 @@ func main() {
 	}{
 		{"clean (no faults)", nil},
 		{"1 device crash", &runtime.FaultPlan{
-			Devices: []runtime.DeviceFault{crash(0, 120 * time.Millisecond)},
+			Devices: []runtime.DeviceFault{crash(0, 120*time.Millisecond)},
 		}},
 		{"2 device crashes", &runtime.FaultPlan{
 			Devices: []runtime.DeviceFault{
-				crash(0, 120 * time.Millisecond),
-				crash(1, 190 * time.Millisecond),
+				crash(0, 120*time.Millisecond),
+				crash(1, 190*time.Millisecond),
 			},
 		}},
 		{"link degraded 5x + flap", &runtime.FaultPlan{

@@ -292,63 +292,39 @@ func (t *Tape) AddRowVector(a, bias *Node) *Node {
 	return t.pushOwned(v, anyGrad(a, bias), func(g *tensor.Matrix) {
 		a.accum(g)
 		if bias.reqG {
-			bg := tensor.GetZeroed(1, g.Cols)
-			for i := 0; i < g.Rows; i++ {
-				row := g.Row(i)
-				for j, gv := range row {
-					bg.Data[j] += gv
-				}
-			}
+			bg := tensor.ColSumsInto(g, tensor.Get(1, g.Cols))
 			bias.accum(bg)
 			tensor.Put(bg)
 		}
 	})
 }
 
-// Tanh records element-wise tanh.
+// Tanh records element-wise tanh via the specialized TanhInto kernel
+// (no per-element function-pointer dispatch).
 func (t *Tape) Tanh(a *Node) *Node {
-	v := tensor.ApplyInto(a.Value, math.Tanh, t.newVal(a.Value.Rows, a.Value.Cols))
+	v := tensor.TanhInto(a.Value, t.newVal(a.Value.Rows, a.Value.Cols))
 	return t.pushOwned(v, a.reqG, func(g *tensor.Matrix) {
-		d := tensor.Get(g.Rows, g.Cols)
-		for i, y := range v.Data {
-			d.Data[i] = g.Data[i] * (1 - y*y)
-		}
+		d := tensor.TanhGradInto(g, v, tensor.Get(g.Rows, g.Cols))
 		a.accum(d)
 		tensor.Put(d)
 	})
 }
 
-// Sigmoid records element-wise logistic sigmoid.
+// Sigmoid records element-wise logistic sigmoid via SigmoidInto.
 func (t *Tape) Sigmoid(a *Node) *Node {
-	v := tensor.ApplyInto(a.Value, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) },
-		t.newVal(a.Value.Rows, a.Value.Cols))
+	v := tensor.SigmoidInto(a.Value, t.newVal(a.Value.Rows, a.Value.Cols))
 	return t.pushOwned(v, a.reqG, func(g *tensor.Matrix) {
-		d := tensor.Get(g.Rows, g.Cols)
-		for i, y := range v.Data {
-			d.Data[i] = g.Data[i] * y * (1 - y)
-		}
+		d := tensor.SigmoidGradInto(g, v, tensor.Get(g.Rows, g.Cols))
 		a.accum(d)
 		tensor.Put(d)
 	})
 }
 
-// ReLU records element-wise max(0, x).
+// ReLU records element-wise max(0, x) via ReLUInto.
 func (t *Tape) ReLU(a *Node) *Node {
-	v := tensor.ApplyInto(a.Value, func(x float64) float64 {
-		if x > 0 {
-			return x
-		}
-		return 0
-	}, t.newVal(a.Value.Rows, a.Value.Cols))
+	v := tensor.ReLUInto(a.Value, t.newVal(a.Value.Rows, a.Value.Cols))
 	return t.pushOwned(v, a.reqG, func(g *tensor.Matrix) {
-		d := tensor.Get(g.Rows, g.Cols)
-		for i, x := range a.Value.Data {
-			if x > 0 {
-				d.Data[i] = g.Data[i]
-			} else {
-				d.Data[i] = 0
-			}
-		}
+		d := tensor.ReLUGradInto(g, a.Value, tensor.Get(g.Rows, g.Cols))
 		a.accum(d)
 		tensor.Put(d)
 	})

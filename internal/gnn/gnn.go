@@ -135,38 +135,39 @@ func (e *Encoder) OutDim() int { return 2 * e.M }
 func (e *Encoder) Encode(b *nn.Binder, f *Features) *autodiff.Node {
 	t := b.Tape
 	n := f.Node.Rows
-	h := t.Tanh(e.In.Apply(b, t.Const(f.Node))) // N×2M
+	h := e.In.ApplyTanh(b, t.Const(f.Node)) // N×2M, fused affine+tanh
 
-	w1T := t.Transpose(b.Node(e.W1))     // 2M×M
-	w2T := t.Transpose(b.Node(e.W2))     // 2M×M
-	weUpT := t.Transpose(b.Node(e.WeUp)) // fe×M
-	weDownT := t.Transpose(b.Node(e.WeDown))
-	ef := t.Const(f.Edge)
+	w1T := t.Transpose(b.Node(e.W1)) // 2M×M
+	w2T := t.Transpose(b.Node(e.W2)) // 2M×M
+
+	// The edge-feature projections ef·WeUpᵀ and ef·WeDownᵀ are
+	// loop-invariant: compute each once and reuse it as the additive term
+	// of the fused message transform in all K iterations.
+	var efUp, efDown *autodiff.Node
+	if e.UseEdgeFeatures {
+		ef := t.Const(f.Edge)
+		efUp = t.MatMulT2(ef, b.Node(e.WeUp))     // E×M
+		efDown = t.MatMulT2(ef, b.Node(e.WeDown)) // E×M
+	}
 
 	for k := 0; k < e.K; k++ {
 		hup := t.SliceCols(h, 0, e.M)
 		hdown := t.SliceCols(h, e.M, 2*e.M)
 
 		// Upstream messages: for edge (u→v), transform u's embedding (+
-		// edge features) and mean-pool at v.
-		msgIn := t.MatMul(t.GatherRows(h, f.Src), w1T)
-		if e.UseEdgeFeatures {
-			msgIn = t.Add(msgIn, t.MatMul(ef, weUpT))
-		}
-		msgIn = t.Tanh(msgIn)
+		// edge features) and mean-pool at v. Gather, product, add and
+		// activation run as one fused tape entry — the E×2M gathered
+		// neighbor matrix is never materialized.
+		msgIn := t.GatherMatMulAddTanh(h, f.Src, w1T, efUp)
 		aggIn := t.SegmentMean(msgIn, f.Dst, n)
 
 		// Downstream messages: for edge (u→v), transform v's embedding and
 		// mean-pool at u.
-		msgOut := t.MatMul(t.GatherRows(h, f.Dst), w1T)
-		if e.UseEdgeFeatures {
-			msgOut = t.Add(msgOut, t.MatMul(ef, weDownT))
-		}
-		msgOut = t.Tanh(msgOut)
+		msgOut := t.GatherMatMulAddTanh(h, f.Dst, w1T, efDown)
 		aggOut := t.SegmentMean(msgOut, f.Src, n)
 
-		nextUp := t.Tanh(t.MatMul(t.ConcatCols(hup, aggIn), w2T))
-		nextDown := t.Tanh(t.MatMul(t.ConcatCols(hdown, aggOut), w2T))
+		nextUp := t.MatMulTanh(t.ConcatCols(hup, aggIn), w2T)
+		nextDown := t.MatMulTanh(t.ConcatCols(hdown, aggOut), w2T)
 		h = t.ConcatCols(nextUp, nextDown)
 	}
 	return h

@@ -200,3 +200,90 @@ func TestEncodeOnCoarseGraphWithOverrides(t *testing.T) {
 		t.Fatal("coarse encode shape")
 	}
 }
+
+// referenceEncode is the pre-fusion encoder composition (separate gather,
+// matmul, add, tanh and transpose tape entries). The production Encode must
+// match it — values and parameter gradients — to rounding.
+func referenceEncode(b *nn.Binder, e *Encoder, f *Features) *autodiff.Node {
+	t := b.Tape
+	n := f.Node.Rows
+	x := t.Const(f.Node)
+	h := t.Tanh(t.AddRowVector(t.MatMul(x, t.Transpose(b.Node(e.In.W))), b.Node(e.In.B)))
+
+	w1T := t.Transpose(b.Node(e.W1))
+	w2T := t.Transpose(b.Node(e.W2))
+	weUpT := t.Transpose(b.Node(e.WeUp))
+	weDownT := t.Transpose(b.Node(e.WeDown))
+	ef := t.Const(f.Edge)
+
+	for k := 0; k < e.K; k++ {
+		hup := t.SliceCols(h, 0, e.M)
+		hdown := t.SliceCols(h, e.M, 2*e.M)
+
+		msgIn := t.MatMul(t.GatherRows(h, f.Src), w1T)
+		if e.UseEdgeFeatures {
+			msgIn = t.Add(msgIn, t.MatMul(ef, weUpT))
+		}
+		aggIn := t.SegmentMean(t.Tanh(msgIn), f.Dst, n)
+
+		msgOut := t.MatMul(t.GatherRows(h, f.Dst), w1T)
+		if e.UseEdgeFeatures {
+			msgOut = t.Add(msgOut, t.MatMul(ef, weDownT))
+		}
+		aggOut := t.SegmentMean(t.Tanh(msgOut), f.Src, n)
+
+		nextUp := t.Tanh(t.MatMul(t.ConcatCols(hup, aggIn), w2T))
+		nextDown := t.Tanh(t.MatMul(t.ConcatCols(hdown, aggOut), w2T))
+		h = t.ConcatCols(nextUp, nextDown)
+	}
+	return h
+}
+
+func TestEncodeFusedMatchesUnfusedReference(t *testing.T) {
+	c := sim.DefaultCluster(10, 1000)
+	cfg := gen.DefaultConfig(60, 100, 10_000, c)
+	g := gen.Generate(cfg, rand.New(rand.NewSource(7)))
+	f := BuildFeatures(g, c)
+
+	for _, useEdges := range []bool{true, false} {
+		ps := nn.NewParamSet()
+		enc := NewEncoder(ps, "e", 8, 2, rand.New(rand.NewSource(8)))
+		enc.UseEdgeFeatures = useEdges
+
+		run := func(fused bool) (map[string][]float64, []float64) {
+			ps.ZeroGrads()
+			tape := autodiff.NewTape()
+			b := nn.NewBinder(tape)
+			var h *autodiff.Node
+			if fused {
+				h = enc.Encode(b, f)
+			} else {
+				h = referenceEncode(b, enc, f)
+			}
+			tape.Backward(tape.Sum(h), nil)
+			b.Collect()
+			grads := make(map[string][]float64)
+			for _, p := range ps.All() {
+				grads[p.Name] = append([]float64(nil), p.Grad.Data...)
+			}
+			return grads, append([]float64(nil), h.Value.Data...)
+		}
+		fg, fv := run(true)
+		ug, uv := run(false)
+
+		const tol = 1e-10
+		for i := range uv {
+			if math.Abs(fv[i]-uv[i]) > tol*(1+math.Abs(uv[i])) {
+				t.Fatalf("useEdges=%v: value[%d] fused %g vs reference %g", useEdges, i, fv[i], uv[i])
+			}
+		}
+		for name, want := range ug {
+			got := fg[name]
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > tol*(1+math.Abs(want[i])) {
+					t.Fatalf("useEdges=%v: grad %s[%d] fused %g vs reference %g", useEdges, name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

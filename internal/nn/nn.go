@@ -237,10 +237,16 @@ func NewLinear(ps *ParamSet, name string, in, out int, rng *rand.Rand) *Linear {
 	}
 }
 
-// Apply records y = x·Wᵀ + b on the binder's tape. x is rows×in.
+// Apply records y = x·Wᵀ + b on the binder's tape as one fused entry —
+// the transposed weight copy is never materialized. x is rows×in.
 func (l *Linear) Apply(b *Binder, x *autodiff.Node) *autodiff.Node {
-	wT := b.Tape.Transpose(b.Node(l.W))
-	return b.Tape.AddRowVector(b.Tape.MatMul(x, wT), b.Node(l.B))
+	return b.Tape.Affine(x, b.Node(l.W), b.Node(l.B))
+}
+
+// ApplyTanh records y = tanh(x·Wᵀ + b) as one fused tape entry, with the
+// activation applied in the kernel's store loop.
+func (l *Linear) ApplyTanh(b *Binder, x *autodiff.Node) *autodiff.Node {
+	return b.Tape.AffineTanh(x, b.Node(l.W), b.Node(l.B))
 }
 
 // Activation selects the non-linearity applied between MLP layers.
@@ -287,15 +293,19 @@ func NewMLP(ps *ParamSet, name string, sizes []int, hidden, out Activation, rng 
 	return m
 }
 
-// Apply records the full MLP forward pass.
+// Apply records the full MLP forward pass. Tanh layers take the fused
+// affine+tanh path; other activations apply as separate tape entries.
 func (m *MLP) Apply(b *Binder, x *autodiff.Node) *autodiff.Node {
 	for i, l := range m.Layers {
-		x = l.Apply(b, x)
-		if i+1 < len(m.Layers) {
-			x = applyAct(b.Tape, x, m.Hidden)
-		} else {
-			x = applyAct(b.Tape, x, m.Out)
+		act := m.Hidden
+		if i+1 == len(m.Layers) {
+			act = m.Out
 		}
+		if act == ActTanh {
+			x = l.ApplyTanh(b, x)
+			continue
+		}
+		x = applyAct(b.Tape, l.Apply(b, x), act)
 	}
 	return x
 }
@@ -330,8 +340,8 @@ func NewLSTMCell(ps *ParamSet, name string, in, h int, rng *rand.Rand) *LSTMCell
 func (l *LSTMCell) Step(b *Binder, x, h, c *autodiff.Node) (*autodiff.Node, *autodiff.Node) {
 	t := b.Tape
 	z := t.Add(
-		t.MatMul(x, t.Transpose(b.Node(l.Wx))),
-		t.MatMul(h, t.Transpose(b.Node(l.Wh))),
+		t.MatMulT2(x, b.Node(l.Wx)),
+		t.MatMulT2(h, b.Node(l.Wh)),
 	)
 	z = t.AddRowVector(z, b.Node(l.B))
 	H := l.H
@@ -373,22 +383,22 @@ func NewMultiHeadAttention(ps *ParamSet, name string, d, heads int, rng *rand.Ra
 // residual connection.
 func (a *MultiHeadAttention) Apply(b *Binder, x *autodiff.Node) *autodiff.Node {
 	t := b.Tape
-	q := t.MatMul(x, t.Transpose(b.Node(a.WQ)))
-	k := t.MatMul(x, t.Transpose(b.Node(a.WK)))
-	v := t.MatMul(x, t.Transpose(b.Node(a.WV)))
+	q := t.MatMulT2(x, b.Node(a.WQ))
+	k := t.MatMulT2(x, b.Node(a.WK))
+	v := t.MatMulT2(x, b.Node(a.WV))
 	dh := a.Dim / a.Heads
 	outs := make([]*autodiff.Node, a.Heads)
 	for h := 0; h < a.Heads; h++ {
 		qh := t.SliceCols(q, h*dh, (h+1)*dh)
 		kh := t.SliceCols(k, h*dh, (h+1)*dh)
 		vh := t.SliceCols(v, h*dh, (h+1)*dh)
-		scores := t.Scale(t.MatMul(qh, t.Transpose(kh)), 1/math.Sqrt(float64(dh)))
+		scores := t.Scale(t.MatMulT2(qh, kh), 1/math.Sqrt(float64(dh)))
 		// softmax = exp(log-softmax); two tape ops, numerically stable.
 		attn := t.Exp(t.LogSoftmaxRows(scores))
 		outs[h] = t.MatMul(attn, vh)
 	}
 	concat := t.ConcatCols(outs...)
-	proj := t.MatMul(concat, t.Transpose(b.Node(a.WO)))
+	proj := t.MatMulT2(concat, b.Node(a.WO))
 	return t.Add(x, proj) // residual
 }
 

@@ -1,7 +1,8 @@
-// into.go provides destination-passing variants of the hot kernels. Each
-// …Into fully defines dst (no kernel reads stale dst contents), so a dst
-// obtained from the arena's Get — whose contents are unspecified — is
-// always safe. The allocating kernels in tensor.go delegate here.
+// into.go provides destination-passing variants of the element-wise and
+// reduction kernels. Each …Into fully defines dst (no kernel reads stale
+// dst contents), so a dst obtained from the arena's Get — whose contents
+// are unspecified — is always safe. The allocating kernels in tensor.go
+// delegate here; the matrix-product and fused kernels live in kernels.go.
 //
 // Element-wise kernels (AddInto, SubInto, MulInto, ScaleInto, ApplyInto,
 // AddRowVectorInto) permit dst to alias an input. The matrix-product
@@ -13,118 +14,6 @@ import (
 
 	"repro/internal/parallel"
 )
-
-// MatMulInto computes a·b into dst (a.Rows×b.Cols) and returns dst.
-func MatMulInto(a, b, dst *Matrix) *Matrix {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	mustShape("matmul dst", dst, a.Rows, b.Cols)
-	work := a.Rows * a.Cols * b.Cols
-	rowRange := func(lo, hi int) {
-		// ikj loop order: streams through b rows, vectorization friendly.
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-			orow := dst.Data[i*b.Cols : (i+1)*b.Cols]
-			for j := range orow {
-				orow[j] = 0
-			}
-			for k, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
-	}
-	if work < parallelThreshold {
-		rowRange(0, a.Rows)
-		return dst
-	}
-	chunks := parallel.ChunkRanges(a.Rows, parallel.DefaultWorkers())
-	parallel.ForEach(len(chunks), 0, func(c int) {
-		rowRange(chunks[c][0], chunks[c][1])
-	})
-	return dst
-}
-
-// MatMulT1Into computes aᵀ·b into dst (a.Cols×b.Cols) and returns dst.
-// Large shapes are row-blocked over dst rows, so every output row is
-// owned by exactly one worker and the per-row accumulation order matches
-// the serial kernel bit-for-bit.
-func MatMulT1Into(a, b, dst *Matrix) *Matrix {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("tensor: matmulT1 shape mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	mustShape("matmulT1 dst", dst, a.Cols, b.Cols)
-	work := a.Rows * a.Cols * b.Cols
-	colRange := func(lo, hi int) {
-		for k := lo; k < hi; k++ {
-			orow := dst.Data[k*b.Cols : (k+1)*b.Cols]
-			for j := range orow {
-				orow[j] = 0
-			}
-		}
-		for i := 0; i < a.Rows; i++ {
-			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-			brow := b.Data[i*b.Cols : (i+1)*b.Cols]
-			for k := lo; k < hi; k++ {
-				av := arow[k]
-				if av == 0 {
-					continue
-				}
-				orow := dst.Data[k*b.Cols : (k+1)*b.Cols]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
-	}
-	if work < parallelThreshold {
-		colRange(0, a.Cols)
-		return dst
-	}
-	chunks := parallel.ChunkRanges(a.Cols, parallel.DefaultWorkers())
-	parallel.ForEach(len(chunks), 0, func(c int) {
-		colRange(chunks[c][0], chunks[c][1])
-	})
-	return dst
-}
-
-// MatMulT2Into computes a·bᵀ into dst (a.Rows×b.Rows) and returns dst.
-func MatMulT2Into(a, b, dst *Matrix) *Matrix {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: matmulT2 shape mismatch %dx%d · %dx%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	mustShape("matmulT2 dst", dst, a.Rows, b.Rows)
-	work := a.Rows * a.Cols * b.Rows
-	rowRange := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-			orow := dst.Data[i*b.Rows : (i+1)*b.Rows]
-			for j := 0; j < b.Rows; j++ {
-				brow := b.Data[j*b.Cols : (j+1)*b.Cols]
-				var s float64
-				for k, av := range arow {
-					s += av * brow[k]
-				}
-				orow[j] = s
-			}
-		}
-	}
-	if work < parallelThreshold {
-		rowRange(0, a.Rows)
-		return dst
-	}
-	chunks := parallel.ChunkRanges(a.Rows, parallel.DefaultWorkers())
-	parallel.ForEach(len(chunks), 0, func(c int) {
-		rowRange(chunks[c][0], chunks[c][1])
-	})
-	return dst
-}
 
 // AddInto computes a+b into dst (dst may alias a or b) and returns dst.
 func AddInto(a, b, dst *Matrix) *Matrix {

@@ -155,23 +155,14 @@ func Apply(a *Matrix, f func(float64) float64) *Matrix {
 	return ApplyInto(a, f, New(a.Rows, a.Cols))
 }
 
-// Tanh returns element-wise tanh.
-func Tanh(a *Matrix) *Matrix { return Apply(a, math.Tanh) }
+// Tanh returns element-wise tanh via the specialized TanhInto loop.
+func Tanh(a *Matrix) *Matrix { return TanhInto(a, New(a.Rows, a.Cols)) }
 
-// Sigmoid returns element-wise logistic sigmoid.
-func Sigmoid(a *Matrix) *Matrix {
-	return Apply(a, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
-}
+// Sigmoid returns element-wise logistic sigmoid via SigmoidInto.
+func Sigmoid(a *Matrix) *Matrix { return SigmoidInto(a, New(a.Rows, a.Cols)) }
 
-// ReLU returns element-wise max(0, x).
-func ReLU(a *Matrix) *Matrix {
-	return Apply(a, func(x float64) float64 {
-		if x > 0 {
-			return x
-		}
-		return 0
-	})
-}
+// ReLU returns element-wise max(0, x) via ReLUInto.
+func ReLU(a *Matrix) *Matrix { return ReLUInto(a, New(a.Rows, a.Cols)) }
 
 // GatherRows returns the matrix whose i-th row is a.Row(idx[i]).
 func GatherRows(a *Matrix, idx []int) *Matrix {
