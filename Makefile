@@ -9,7 +9,7 @@ BENCH_FILTER ?= 'BenchmarkGNNEncode|BenchmarkMatMul$$|BenchmarkMetisPartition|Be
 BENCH_BASELINE ?= BENCH_BASELINE.json
 BENCH_THRESHOLD ?= 10
 
-.PHONY: build test check race vet fmt bench bench-smoke bench-gate bench-baseline bench-kernels benchdiff curve
+.PHONY: build test check race vet fmt bench bench-smoke bench-gate bench-baseline bench-kernels benchdiff curve chaos
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,12 @@ fmt:
 race:
 	$(GO) test -race ./...
 
+# Chaos gate: the fault-injection, drift re-allocation, and resilience
+# suites under the race detector, twice, so flaky timing in the wall-clock
+# controllers or a data race in the re-allocation loop fails loudly.
+chaos:
+	$(GO) test -race -count=2 ./internal/runtime/ ./internal/realloc/ ./internal/resilience/
+
 # One iteration of every benchmark: catches benchmarks that panic or
 # regress into non-termination without paying for a full measurement run.
 bench-smoke:
@@ -42,10 +48,10 @@ curve:
 		-pretrain 0 -epochs 1 -quiet -curve-out .curve.jsonl
 	$(GO) run ./cmd/curvecheck .curve.jsonl
 
-# Full pre-merge check: formatting + vet + race-detected tests + benchmark
-# smoke run + observability smoke + regression gate against the committed
-# baseline.
-check: fmt vet race bench-smoke curve bench-gate
+# Full pre-merge check: formatting + vet + race-detected tests + chaos
+# suites + benchmark smoke run + observability smoke + regression gate
+# against the committed baseline.
+check: fmt vet race chaos bench-smoke curve bench-gate
 
 # Regression gate: measure the stable micro set (min of -count=3) and fail
 # when any benchmark regressed more than BENCH_THRESHOLD percent in ns/op

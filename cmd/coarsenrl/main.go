@@ -9,6 +9,8 @@
 //	coarsenrl -mode finetune -setting large-10k-10dev -load model.json \
 //	          -save model-large.json [-epochs 4]
 //	coarsenrl -mode curriculum -save model.json [-scale 0.5]
+//	coarsenrl -mode drift -setting small [-load model.json] \
+//	          [-drift-ticks 16] [-drift-lambda 0.3]
 //
 // Fault tolerance: training modes trap SIGINT/SIGTERM and checkpoint full
 // training state (weights, optimizer moments, memory buffer, RNG,
@@ -24,6 +26,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,6 +39,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/placer"
 	"repro/internal/prof"
+	"repro/internal/realloc"
 	"repro/internal/rl"
 	"repro/internal/sim"
 )
@@ -50,7 +54,7 @@ var flushObs = func() {}
 
 func main() {
 	var (
-		mode        = flag.String("mode", "train", "train | finetune | eval | curriculum")
+		mode        = flag.String("mode", "train", "train | finetune | eval | curriculum | drift")
 		settingName = flag.String("setting", "medium-10k-10dev", "dataset preset")
 		scale       = flag.Float64("scale", 1.0, "dataset size multiplier")
 		loadPath    = flag.String("load", "", "load model parameters from JSON")
@@ -73,6 +77,8 @@ func main() {
 		listen      = flag.String("listen", "", "serve /metrics (Prometheus) and /debug/vars (expvar) on this address, e.g. :9090 or :0")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON of training phases to this file")
 		curveOut    = flag.String("curve-out", "", "append one JSONL training-curve record per optimizer step to this file")
+		driftTicks  = flag.Int("drift-ticks", 16, "drift mode: timeline length in ticks")
+		driftLambda = flag.Float64("drift-lambda", 0.3, "drift mode: move-cost weight λ in the migration utility (0 = migration is free)")
 	)
 	flag.Parse()
 
@@ -237,6 +243,14 @@ func main() {
 		evaluate(model, pipe, ds)
 	case "eval":
 		evaluate(model, pipe, ds)
+	case "drift":
+		// Replay a seeded drift timeline against the first test graph: the
+		// model's merge scores rank region re-collapses in the online
+		// re-allocation loop (an untrained model still works — its scores
+		// just rank edges arbitrarily).
+		if err := driftReplay(ctx, model, ds, *seed, *driftTicks, *driftLambda); err != nil {
+			fatal(err)
+		}
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
@@ -272,6 +286,59 @@ func evaluate(model *core.Model, pipe *core.Pipeline, ds *gen.Dataset) {
 		},
 	}
 	fmt.Print(rep.String())
+}
+
+// driftReplay runs the online re-allocation loop over a generated drift
+// scenario and prints the per-tick recovery trajectory.
+func driftReplay(ctx context.Context, model *core.Model, ds *gen.Dataset, seed int64, ticks int, lambda float64) error {
+	g := ds.Test[0]
+	cluster := ds.Cluster
+	p := metis.Partition(g, metis.Options{Parts: cluster.Devices, Seed: seed})
+	p.Devices = cluster.Devices
+
+	events := gen.DriftEvents(gen.DefaultDriftConfig(ticks), cluster.Devices, rand.New(rand.NewSource(seed+97)))
+	timeline, err := sim.BuildTimeline(cluster.Devices, ticks, events)
+	if err != nil {
+		return err
+	}
+	cfg := realloc.DefaultConfig()
+	if lambda >= 0 {
+		cfg.MoveCostWeight = lambda
+	}
+	loop, err := realloc.New(g, cluster, model, p, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("drift replay: %d operators, %d devices, %d ticks, %d events, λ=%.2f\n",
+		g.NumNodes(), cluster.Devices, ticks, len(events), cfg.MoveCostWeight)
+	for _, ev := range events {
+		fmt.Printf("  event t=%-3d %-12s dev=%d dur=%d factor=%.2f\n",
+			ev.Tick, ev.Kind, ev.Device, ev.DurTicks, ev.Factor)
+	}
+	fmt.Printf("%-5s %-6s %-4s %-4s %-9s %-6s %-6s %-12s %s\n",
+		"tick", "rate", "up", "bw", "relative", "replan", "moved", "move-cost", "note")
+	for t, st := range timeline {
+		act, err := loop.Step(ctx, st)
+		if err != nil {
+			return err
+		}
+		note := ""
+		switch {
+		case act.Degraded:
+			note = "degraded: holding stale placement"
+		case act.Replanned:
+			note = fmt.Sprintf("replanned at escalation %d", act.Escalation)
+		case act.Triggered:
+			note = "triggered, no better placement"
+		}
+		fmt.Printf("%-5d %-6.2f %-4d %-4.2f %-9.3f %-6v %-6d %-12.1f %s\n",
+			t, st.RateFactor, st.NumUp(cluster.Devices), st.BandwidthFactor,
+			act.Relative, act.Replanned, act.Moved, act.MoveCost, note)
+	}
+	fmt.Printf("final placement uses %d devices; degraded=%v\n",
+		loop.Placement().UsedDevices(), loop.Degraded())
+	return nil
 }
 
 func maxOf(a, b int) int {

@@ -6,7 +6,11 @@
 //	experiments -run table1,fig5,fig9      # a subset
 //	experiments -run fig7 -scale 1 -budget default -outdir results/
 //
-// Experiment ids: fig1 fig3 fig5 fig6 fig7 fig8 fig9 table1 table2 table3.
+// Experiment ids: fig1 fig3 fig5 fig6 fig7 fig8 fig9 table1 table2 table3
+// simvalidate transferapps robustness robustness-sim drift. The last two
+// are deterministic (fluid-simulator timelines, bit-identical across runs
+// and worker counts); "drift" compares static placement vs the reactive
+// re-allocation loop vs a full re-coarsen under elastic drift scenarios.
 package main
 
 import (

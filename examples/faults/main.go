@@ -18,6 +18,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/metis"
 	"repro/internal/runtime"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -90,6 +91,38 @@ func main() {
 			sc.name, r.Relative, retained*100, r.DeviceCrashes, r.DeviceRestarts, r.LinkRetunes)
 	}
 
+	// Drift goes beyond faults: the same run can see source-rate surges,
+	// pool grow/shrink, and link class changes, expressed as the same
+	// sim.DriftEvent timeline the deterministic experiments replay. Here
+	// the event list is compiled onto the wall clock at 25 ms per tick: a
+	// 1.8× surge over ticks [4,10), device 1 out from tick 6 on, and a
+	// half-bandwidth link class from tick 8.
+	events := []sim.DriftEvent{
+		{Kind: sim.DriftSourceSurge, Tick: 4, DurTicks: 6, Factor: 1.8},
+		{Kind: sim.DriftDeviceLoss, Tick: 6, Device: 1},
+		{Kind: sim.DriftLinkClass, Tick: 8, Factor: 0.5},
+	}
+	dp, err := runtime.PlanFromEvents(events, cluster.Devices, 25*time.Millisecond)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faults: drift plan: %v\n", err)
+		os.Exit(1)
+	}
+	cfg.Faults = nil
+	cfg.Drift = dp
+	r, err := runtime.Run(g, p, cluster, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faults: drift run: %v\n", err)
+		os.Exit(1)
+	}
+	retained := 1.0
+	if baseline > 0 {
+		retained = r.Relative / baseline
+	}
+	fmt.Printf("\ndrift (surge+loss+class)   %10.3f %9.0f%%   crashes %d, link retunes %d, source retunes %d\n",
+		r.Relative, retained*100, r.DeviceCrashes, r.LinkRetunes, r.SourceRetunes)
+
 	fmt.Println("\nThe same degradation curve is available as an eval-harness")
-	fmt.Println("experiment: internal/eval's Harness.Run(\"robustness\").")
+	fmt.Println("experiment: internal/eval's Harness.Run(\"robustness\") — and the")
+	fmt.Println("drift comparison (static vs reactive vs full re-coarsen) as")
+	fmt.Println("Harness.Run(\"drift\").")
 }

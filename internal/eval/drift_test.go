@@ -1,0 +1,120 @@
+package eval
+
+import (
+	"reflect"
+	stdruntime "runtime"
+	"testing"
+)
+
+func TestDriftReactiveRecoversCheaperThanFull(t *testing.T) {
+	h := tinyHarness(t)
+	res := h.Drift()
+
+	// The headline claims of the drift experiment: the reactive loop wins
+	// back a meaningful share of what the static placement loses, and it
+	// does so strictly cheaper than re-coarsening from scratch.
+	if res.RecoveryFrac < 0.25 {
+		t.Errorf("reactive recovers %.2f of static's lost throughput, want >= 0.25", res.RecoveryFrac)
+	}
+	if res.Reactive.MeanRelative <= res.Static.MeanRelative {
+		t.Errorf("reactive mean %.3f must beat static %.3f under drift",
+			res.Reactive.MeanRelative, res.Static.MeanRelative)
+	}
+	if res.Reactive.MoveCost >= res.Full.MoveCost {
+		t.Errorf("reactive move cost %.1f must be strictly below full re-coarsen %.1f",
+			res.Reactive.MoveCost, res.Full.MoveCost)
+	}
+	if res.Static.MoveCost != 0 || res.Static.Migrations != 0 {
+		t.Errorf("static strategy must never migrate: %+v", res.Static)
+	}
+	if res.Reactive.Replans == 0 {
+		t.Error("scenarios are guaranteed to drift; the reactive loop must replan at least once")
+	}
+	for name, curves := range res.Curves {
+		if len(curves) == 0 {
+			t.Fatalf("no curves for %s", name)
+		}
+		for g, c := range curves {
+			if len(c) != driftTicks {
+				t.Errorf("%s scenario %d has %d ticks, want %d", name, g, len(c), driftTicks)
+			}
+		}
+	}
+}
+
+// TestDriftTrajectoryDeterministic pins the acceptance bar that the whole
+// recovery trajectory — not just the summary means — is bit-identical
+// across seeded runs and across worker counts. Each run uses a fresh
+// harness so nothing is served from a cache.
+func TestDriftTrajectoryDeterministic(t *testing.T) {
+	run := func(procs int) *DriftResult {
+		old := stdruntime.GOMAXPROCS(procs)
+		defer stdruntime.GOMAXPROCS(old)
+		h := tinyHarness(t)
+		h.Seed = 3
+		return h.Drift()
+	}
+	serial := run(1)
+	wide := run(stdruntime.NumCPU())
+	repeat := run(stdruntime.NumCPU())
+	if !reflect.DeepEqual(serial, wide) {
+		t.Errorf("drift result differs between GOMAXPROCS 1 and %d:\n%+v\n%+v",
+			stdruntime.NumCPU(), serial, wide)
+	}
+	if !reflect.DeepEqual(wide, repeat) {
+		t.Errorf("drift result differs across identical seeded runs:\n%+v\n%+v", wide, repeat)
+	}
+}
+
+func TestRobustnessSimMatchesWallClockShape(t *testing.T) {
+	h := tinyHarness(t)
+	res := h.RobustnessSim()
+	if len(res.Crashes) != len(res.Relative) || len(res.Crashes) != len(res.Degradation) {
+		t.Fatalf("ragged result: %+v", res)
+	}
+	if res.Crashes[0] != 0 || res.Degradation[0] != 1 {
+		t.Fatalf("first column must be the fault-free baseline: %+v", res)
+	}
+	if res.Relative[0] <= 0 {
+		t.Fatalf("fault-free baseline must make progress, got %v", res.Relative[0])
+	}
+	// Crash windows strand operators in the fluid model, so the curve is
+	// monotone non-increasing — no wall-clock slack needed here.
+	for i := 1; i < len(res.Degradation); i++ {
+		if res.Degradation[i] > res.Degradation[i-1]+1e-12 {
+			t.Errorf("degradation must not improve with more crashes: %v", res.Degradation)
+		}
+	}
+	if res.MeasuredCrashes[len(res.MeasuredCrashes)-1] == 0 {
+		t.Error("the 3-crash column must observe crashes")
+	}
+}
+
+// TestRobustnessSimDeterministicAcrossWorkers is the satellite check:
+// measured fault counts and throughput curves are identical for the same
+// seed regardless of GOMAXPROCS.
+func TestRobustnessSimDeterministicAcrossWorkers(t *testing.T) {
+	run := func(procs int) *RobustnessResult {
+		old := stdruntime.GOMAXPROCS(procs)
+		defer stdruntime.GOMAXPROCS(old)
+		h := tinyHarness(t)
+		h.Seed = 7
+		return h.RobustnessSim()
+	}
+	serial := run(1)
+	wide := run(stdruntime.NumCPU())
+	if !reflect.DeepEqual(serial, wide) {
+		t.Errorf("robustness-sim differs between GOMAXPROCS 1 and %d:\n%+v\n%+v",
+			stdruntime.NumCPU(), serial, wide)
+	}
+}
+
+func TestRunKnowsDriftExperiments(t *testing.T) {
+	h := tinyHarness(t)
+	if err := h.Run("robustness-sim"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Run("drift"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -855,21 +855,23 @@ func (h *Harness) Run(ids ...string) error {
 // flight instead of running the rest of the suite.
 func (h *Harness) RunCtx(ctx context.Context, ids ...string) error {
 	known := map[string]func(){
-		"simvalidate":  func() { h.SimValidate() },
-		"transferapps": func() { h.TransferApps() },
-		"robustness":   func() { h.Robustness() },
-		"fig1":         func() { h.Fig1() },
-		"table1":       func() { h.Table1() },
-		"fig5":         func() { h.Fig5() },
-		"fig6":         func() { h.Fig6() },
-		"fig7":         func() { h.Fig7() },
-		"fig8":         func() { h.Fig8() },
-		"fig9":         func() { h.Fig9() },
-		"table2":       func() { h.Table2() },
-		"table3":       func() { h.Table3() },
-		"fig3":         func() { h.Fig3() },
+		"simvalidate":    func() { h.SimValidate() },
+		"transferapps":   func() { h.TransferApps() },
+		"robustness":     func() { h.Robustness() },
+		"robustness-sim": func() { h.RobustnessSim() },
+		"drift":          func() { h.Drift() },
+		"fig1":           func() { h.Fig1() },
+		"table1":         func() { h.Table1() },
+		"fig5":           func() { h.Fig5() },
+		"fig6":           func() { h.Fig6() },
+		"fig7":           func() { h.Fig7() },
+		"fig8":           func() { h.Fig8() },
+		"fig9":           func() { h.Fig9() },
+		"table2":         func() { h.Table2() },
+		"table3":         func() { h.Table3() },
+		"fig3":           func() { h.Fig3() },
 	}
-	order := []string{"fig1", "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "table3", "fig3", "simvalidate", "transferapps", "robustness"}
+	order := []string{"fig1", "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "table3", "fig3", "simvalidate", "transferapps", "robustness", "robustness-sim", "drift"}
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = order
 	}

@@ -446,6 +446,29 @@ func assignFeatures(t *topoGraph, cfg Config, rng *rand.Rand) *stream.Graph {
 			g.Nodes[i].Payload *= s
 		}
 	}
+	// Operator state sizes, drawn last so the topology and demand features
+	// above are bit-identical to graphs generated before state existed
+	// (seeded datasets stay stable). Fan-in operators model joins/windows:
+	// they always hold state proportional to what arrives during a one-
+	// second window; other operators are stateful with probability ~0.25.
+	// State only matters to migration cost, never to steady-state load.
+	rates = g.SteadyRates()
+	for v := 0; v < t.n; v++ {
+		inBits := 0.0
+		for _, ei := range g.InEdges(v) {
+			e := g.Edges[ei]
+			inBits += rates[e.Src] * e.Payload
+		}
+		stateful := len(t.in[v]) > 1
+		draw := rng.Float64()
+		if !stateful && len(t.in[v]) > 0 {
+			stateful = draw < 0.25
+		}
+		if stateful {
+			// Window length 0.2–2 s of arriving data.
+			g.Nodes[v].State = inBits * (0.2 + 1.8*rng.Float64())
+		}
+	}
 	return g
 }
 

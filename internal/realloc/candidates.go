@@ -1,0 +1,234 @@
+// candidates.go generates migration candidates for a replan region: the
+// region's operators are re-collapsed along the model's merge ranking at
+// a few target granularities (the incremental analogue of the pipeline's
+// ranking sweep), each grouping is greedily assigned to the available
+// devices, and every candidate is scored under the drifted environment.
+// Operators outside the region never move — that is what makes the tight
+// escalation levels cheap in migration cost.
+package realloc
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+// candidate is one scored migration option.
+type candidate struct {
+	p        *stream.Placement
+	rel      float64 // measured relative under the drifted environment
+	moveCost float64
+	moved    int
+}
+
+// candidates re-collapses the region at several granularities and
+// scores each resulting placement under st. The returned order is
+// deterministic.
+func (l *Loop) candidates(region map[int]bool, st sim.DriftState, probs []float64) []candidate {
+	// Region operators, in index order for determinism.
+	var nodes []int
+	for v := 0; v < l.g.NumNodes(); v++ {
+		if region[l.cur.Assign[v]] {
+			nodes = append(nodes, v)
+		}
+	}
+	if len(nodes) == 0 || st.NumUp(l.c.Devices) == 0 {
+		return nil
+	}
+	inRegion := make([]bool, l.g.NumNodes())
+	for _, v := range nodes {
+		inRegion[v] = true
+	}
+	// Internal edges ranked by the scorer's merge probability, matching
+	// the pipeline's collapse ordering (ties by edge index).
+	type pe struct {
+		ei int
+		p  float64
+	}
+	var order []pe
+	for ei, e := range l.g.Edges {
+		if inRegion[e.Src] && inRegion[e.Dst] {
+			order = append(order, pe{ei, probs[ei]})
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].p != order[b].p {
+			return order[a].p > order[b].p
+		}
+		return order[a].ei < order[b].ei
+	})
+
+	up := st.NumUp(l.c.Devices)
+	targets := regionTargets(len(nodes), up)
+
+	// Incremental union-find collapse over region nodes, snapshotting the
+	// grouping each time the super-node count crosses the next target.
+	parent := make([]int, l.g.NumNodes())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	loads := l.g.NodeLoad()
+	var out []candidate
+	snapshot := func() {
+		if p := l.assignRegion(nodes, parent, loads, st); p != nil {
+			out = append(out, l.score(p, st))
+		}
+	}
+	comps := len(nodes)
+	ti := 0
+	for ti < len(targets) && comps <= targets[ti] {
+		snapshot()
+		ti++
+	}
+	for _, o := range order {
+		if ti >= len(targets) {
+			break
+		}
+		e := l.g.Edges[o.ei]
+		ru, rv := find(e.Src), find(e.Dst)
+		if ru == rv {
+			continue
+		}
+		parent[ru] = rv
+		comps--
+		for ti < len(targets) && comps <= targets[ti] {
+			snapshot()
+			ti++
+		}
+	}
+	return out
+}
+
+// regionTargets picks the super-node counts to snapshot: no collapse
+// (pure reassignment), intermediate granularities, and down to the
+// available device count — descending and deduplicated.
+func regionTargets(nRegion, upDevices int) []int {
+	raw := []int{
+		nRegion,
+		(3*nRegion + 3) / 4,
+		(nRegion + 1) / 2,
+		(nRegion + 3) / 4,
+		2 * upDevices,
+		upDevices,
+	}
+	var targets []int
+	for _, t := range raw {
+		if t < 1 {
+			t = 1
+		}
+		if t > nRegion {
+			t = nRegion
+		}
+		dup := false
+		for _, have := range targets {
+			if have == t {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			targets = append(targets, t)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(targets)))
+	return targets
+}
+
+// assignRegion greedily places the region's super-nodes onto the
+// available devices: groups in descending load order go to the device
+// with the lowest resulting CPU utilization, on top of the load the
+// out-of-region operators already impose. Lost devices keep a vanishing
+// capacity so they are never chosen. Ties break toward the lowest
+// device index. Returns nil when no device can host.
+func (l *Loop) assignRegion(nodes []int, parent []int, loads []float64, st sim.DriftState) *stream.Placement {
+	find := func(x int) int {
+		for parent[x] != x {
+			x = parent[x]
+		}
+		return x
+	}
+	// Group region nodes by union-find root, keyed by the smallest
+	// member for deterministic ordering.
+	groupOf := map[int][]int{}
+	for _, v := range nodes {
+		r := find(v)
+		groupOf[r] = append(groupOf[r], v)
+	}
+	type group struct {
+		lead    int
+		members []int
+		load    float64
+	}
+	var groups []group
+	for _, members := range groupOf {
+		gload := 0.0
+		lead := members[0]
+		for _, v := range members {
+			gload += loads[v]
+			if v < lead {
+				lead = v
+			}
+		}
+		groups = append(groups, group{lead: lead, members: members, load: gload})
+	}
+	sort.Slice(groups, func(a, b int) bool {
+		if groups[a].load != groups[b].load {
+			return groups[a].load > groups[b].load
+		}
+		return groups[a].lead < groups[b].lead
+	})
+
+	dc := l.c.WithDrift(st)
+	devLoad := make([]float64, l.c.Devices)
+	inRegion := make([]bool, l.g.NumNodes())
+	for _, v := range nodes {
+		inRegion[v] = true
+	}
+	for v := 0; v < l.g.NumNodes(); v++ {
+		if !inRegion[v] {
+			devLoad[l.cur.Assign[v]] += loads[v] * st.RateFactor
+		}
+	}
+	p := l.cur.Clone()
+	for _, gr := range groups {
+		best, bestU := -1, 0.0
+		for d := 0; d < l.c.Devices; d++ {
+			if !st.Up(d) {
+				continue
+			}
+			u := (devLoad[d] + gr.load*st.RateFactor) / dc.CapacityOf(d)
+			if best == -1 || u < bestU {
+				best, bestU = d, u
+			}
+		}
+		if best == -1 {
+			return nil
+		}
+		devLoad[best] += gr.load * st.RateFactor
+		for _, v := range gr.members {
+			p.Assign[v] = best
+		}
+	}
+	return p
+}
+
+// score measures a candidate under the drifted environment and prices
+// its migration.
+func (l *Loop) score(p *stream.Placement, st sim.DriftState) candidate {
+	res, err := sim.SimulateDrift(l.g, p, l.c, st)
+	rel := 0.0
+	if err == nil {
+		rel = res.Relative
+	}
+	cost, moved := PlacementMoveCost(l.g, l.cur, p, l.cfg.MigrationWindow)
+	return candidate{p: p, rel: rel, moveCost: cost, moved: moved}
+}

@@ -98,12 +98,15 @@ type RetryConfig struct {
 	// BaseDelay is the delay after the first failure; each subsequent
 	// delay doubles up to MaxDelay.
 	BaseDelay time.Duration
-	// MaxDelay caps the exponential growth (0 = no cap).
+	// MaxDelay caps every delay, jitter included (0 = no cap).
 	MaxDelay time.Duration
 	// Jitter in [0, 1] scales each delay by a uniform factor in
-	// [1-Jitter, 1+Jitter], decorrelating retries across workers.
+	// [1, 1+Jitter], decorrelating retries across workers. Jitter only
+	// ever lengthens a delay: attempt n sleeps within
+	// [BaseDelay·2ⁿ, BaseDelay·(1+Jitter)·2ⁿ], capped at MaxDelay, so
+	// the configured base remains a hard lower bound on backoff.
 	Jitter float64
-	// sleep overrides time.Sleep in tests.
+	// sleep overrides the context-aware backoff sleep in tests.
 	sleep func(time.Duration)
 }
 
@@ -123,7 +126,18 @@ func jitterFactor(j float64) float64 {
 	jitterMu.Lock()
 	u := jitterRNG.Float64()
 	jitterMu.Unlock()
-	return 1 - j + 2*j*u
+	return 1 + j*u
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first, so
+// a cancelled caller is not held hostage by a long backoff.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
 }
 
 // Retry calls op until it succeeds, Attempts are exhausted, or ctx is
@@ -137,7 +151,7 @@ func Retry(ctx context.Context, cfg RetryConfig, op func() error) error {
 	}
 	sleep := cfg.sleep
 	if sleep == nil {
-		sleep = time.Sleep
+		sleep = func(d time.Duration) { sleepCtx(ctx, d) }
 	}
 	delay := cfg.BaseDelay
 	var last error
@@ -151,6 +165,9 @@ func Retry(ctx context.Context, cfg RetryConfig, op func() error) error {
 		}
 		if a+1 < attempts && delay > 0 {
 			d := time.Duration(float64(delay) * jitterFactor(cfg.Jitter))
+			if cfg.MaxDelay > 0 && d > cfg.MaxDelay {
+				d = cfg.MaxDelay
+			}
 			sleep(d)
 			delay *= 2
 			if cfg.MaxDelay > 0 && delay > cfg.MaxDelay {

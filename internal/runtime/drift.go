@@ -1,0 +1,160 @@
+// drift.go extends the runtime's chaos surface beyond crash/degrade
+// faults to the drift a long-lived deployment actually sees: source-rate
+// surges, device pool shrink/grow, and link class changes. A DriftPlan
+// compiles pool and class events down to the existing fault machinery
+// (a not-yet-joined device is a device that is "down" from the start;
+// a class change is an open-ended link retune), while surges get their
+// own controller that retunes the source arrival buckets.
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// SourceSurge multiplies every source's arrival rate by Factor during
+// [At, At+Duration). Overlapping surges compound multiplicatively, the
+// same convention as sim.BuildTimeline. Duration < 0 (UntilEnd) lasts
+// for the rest of the run.
+type SourceSurge struct {
+	At       time.Duration
+	Duration time.Duration
+	Factor   float64
+}
+
+// DriftPlan schedules drift events for a wall-clock run. Pool changes
+// and link class changes are expressed as a FaultPlan (compiled by
+// PlanFromEvents or hand-written); surges are separate because they
+// retune arrival processes, not device capacity.
+type DriftPlan struct {
+	Surges []SourceSurge
+	// Faults holds the compiled pool/class schedule: a device joining at
+	// time t is a DeviceFault covering [0, t); a loss is an ordinary
+	// crash window; a link class change is a LinkFault on every device.
+	Faults FaultPlan
+}
+
+// Empty reports whether the plan injects nothing.
+func (dp *DriftPlan) Empty() bool {
+	return dp == nil || (len(dp.Surges) == 0 && dp.Faults.Empty())
+}
+
+// Validate checks the plan against a cluster size.
+func (dp *DriftPlan) Validate(devices int) error {
+	if dp == nil {
+		return nil
+	}
+	for i, s := range dp.Surges {
+		if s.At < 0 {
+			return fmt.Errorf("runtime: surge %d has negative start %v", i, s.At)
+		}
+		if s.Duration == 0 {
+			return fmt.Errorf("runtime: surge %d has zero duration (use UntilEnd for rest-of-run)", i)
+		}
+		if s.Factor <= 0 {
+			return fmt.Errorf("runtime: surge %d has non-positive factor %v", i, s.Factor)
+		}
+	}
+	return dp.Faults.Validate(devices)
+}
+
+// surgeFactor returns the product of every surge active at elapsed.
+func surgeFactor(surges []SourceSurge, elapsed time.Duration) float64 {
+	f := 1.0
+	for _, s := range surges {
+		if active(s.At, s.Duration, elapsed) {
+			f *= s.Factor
+		}
+	}
+	return f
+}
+
+// PlanFromEvents compiles a deterministic sim drift timeline into a
+// wall-clock DriftPlan, mapping each tick to the given wall duration.
+// The same event list drives sim.BuildTimeline and this compiler, so
+// the fluid replay and the concurrent execution see identical drift.
+func PlanFromEvents(events []sim.DriftEvent, devices int, tick time.Duration) (*DriftPlan, error) {
+	if tick <= 0 {
+		return nil, fmt.Errorf("runtime: non-positive tick %v", tick)
+	}
+	if err := sim.ValidateEvents(events, devices); err != nil {
+		return nil, err
+	}
+	dp := &DriftPlan{}
+	dur := func(durTicks int) time.Duration {
+		if durTicks <= 0 {
+			return UntilEnd
+		}
+		return time.Duration(durTicks) * tick
+	}
+	// Link class changes: the latest change at or before an instant wins,
+	// so each change becomes a segment ending at the next change.
+	type classChange struct {
+		at     time.Duration
+		factor float64
+	}
+	var classes []classChange
+	for _, ev := range events {
+		at := time.Duration(ev.Tick) * tick
+		switch ev.Kind {
+		case sim.DriftSourceSurge:
+			dp.Surges = append(dp.Surges, SourceSurge{At: at, Duration: dur(ev.DurTicks), Factor: ev.Factor})
+		case sim.DriftDeviceLoss:
+			dp.Faults.Devices = append(dp.Faults.Devices, DeviceFault{
+				Device: ev.Device, At: at, Duration: dur(ev.DurTicks),
+			})
+		case sim.DriftDeviceJoin:
+			// Absent from the start until the join tick. A join at tick 0
+			// means present from the start: nothing to schedule.
+			if ev.Tick > 0 {
+				dp.Faults.Devices = append(dp.Faults.Devices, DeviceFault{
+					Device: ev.Device, At: 0, Duration: at,
+				})
+			}
+		case sim.DriftLinkClass:
+			classes = append(classes, classChange{at: at, factor: ev.Factor})
+		}
+	}
+	sort.SliceStable(classes, func(i, j int) bool { return classes[i].at < classes[j].at })
+	for i, cc := range classes {
+		// Later changes at the same instant override earlier ones.
+		if i+1 < len(classes) && classes[i+1].at == cc.at {
+			continue
+		}
+		d := UntilEnd
+		if i+1 < len(classes) {
+			d = classes[i+1].at - cc.at
+		}
+		if cc.factor == 1 {
+			// The preceding segment already ended at this instant, so a
+			// return to the nominal class needs no fault window of its own.
+			continue
+		}
+		dp.Faults.Links = append(dp.Faults.Links, LinkFault{
+			Device: -1, At: cc.at, Duration: d, Factor: cc.factor,
+		})
+	}
+	if err := dp.Validate(devices); err != nil {
+		return nil, err
+	}
+	return dp, nil
+}
+
+// mergeFaults combines a user fault plan with a drift plan's compiled
+// faults into one schedule.
+func mergeFaults(fp *FaultPlan, dp *DriftPlan) *FaultPlan {
+	if dp.Empty() || dp.Faults.Empty() {
+		return fp
+	}
+	merged := &FaultPlan{}
+	if fp != nil {
+		merged.Devices = append(merged.Devices, fp.Devices...)
+		merged.Links = append(merged.Links, fp.Links...)
+	}
+	merged.Devices = append(merged.Devices, dp.Faults.Devices...)
+	merged.Links = append(merged.Links, dp.Faults.Links...)
+	return merged
+}

@@ -1,0 +1,137 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestDriftPlanValidate(t *testing.T) {
+	cases := []struct {
+		plan *DriftPlan
+		ok   bool
+	}{
+		{nil, true},
+		{&DriftPlan{}, true},
+		{&DriftPlan{Surges: []SourceSurge{{At: 0, Duration: time.Millisecond, Factor: 2}}}, true},
+		{&DriftPlan{Surges: []SourceSurge{{At: 0, Duration: UntilEnd, Factor: 1.5}}}, true},
+		{&DriftPlan{Surges: []SourceSurge{{At: -time.Second, Duration: time.Millisecond, Factor: 2}}}, false},
+		{&DriftPlan{Surges: []SourceSurge{{At: 0, Duration: 0, Factor: 2}}}, false},
+		{&DriftPlan{Surges: []SourceSurge{{At: 0, Duration: time.Millisecond, Factor: 0}}}, false},
+		{&DriftPlan{Faults: FaultPlan{Devices: []DeviceFault{{Device: 5, Duration: UntilEnd}}}}, false},
+	}
+	for i, c := range cases {
+		err := c.plan.Validate(2)
+		if (err == nil) != c.ok {
+			t.Errorf("case %d: err=%v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestPlanFromEventsCompilation(t *testing.T) {
+	const tick = 10 * time.Millisecond
+	events := []sim.DriftEvent{
+		{Kind: sim.DriftSourceSurge, Tick: 2, DurTicks: 3, Factor: 1.5},
+		{Kind: sim.DriftDeviceLoss, Tick: 1, DurTicks: 0, Device: 0},
+		{Kind: sim.DriftDeviceJoin, Tick: 4, Device: 2},
+		{Kind: sim.DriftLinkClass, Tick: 2, Factor: 0.5},
+		{Kind: sim.DriftLinkClass, Tick: 5, Factor: 1},
+	}
+	dp, err := PlanFromEvents(events, 3, tick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dp.Surges) != 1 {
+		t.Fatalf("surges: %+v", dp.Surges)
+	}
+	s := dp.Surges[0]
+	if s.At != 2*tick || s.Duration != 3*tick || s.Factor != 1.5 {
+		t.Errorf("surge compiled wrong: %+v", s)
+	}
+	if len(dp.Faults.Devices) != 2 {
+		t.Fatalf("device faults: %+v", dp.Faults.Devices)
+	}
+	// Permanent loss of device 0 starting at tick 1.
+	loss := dp.Faults.Devices[0]
+	if loss.Device != 0 || loss.At != tick || loss.Duration != UntilEnd {
+		t.Errorf("loss compiled wrong: %+v", loss)
+	}
+	// Device 2 joins at tick 4: absent for [0, 4 ticks).
+	join := dp.Faults.Devices[1]
+	if join.Device != 2 || join.At != 0 || join.Duration != 4*tick {
+		t.Errorf("join compiled wrong: %+v", join)
+	}
+	// The 0.5 class holds for ticks [2, 5); the return to class 1 needs
+	// no window of its own.
+	if len(dp.Faults.Links) != 1 {
+		t.Fatalf("link faults: %+v", dp.Faults.Links)
+	}
+	lf := dp.Faults.Links[0]
+	if lf.Device != -1 || lf.At != 2*tick || lf.Duration != 3*tick || lf.Factor != 0.5 {
+		t.Errorf("class compiled wrong: %+v", lf)
+	}
+}
+
+func TestPlanFromEventsRejectsBadInput(t *testing.T) {
+	if _, err := PlanFromEvents(nil, 2, 0); err == nil {
+		t.Error("zero tick must be rejected")
+	}
+	bad := []sim.DriftEvent{{Kind: sim.DriftDeviceLoss, Tick: 0, Device: 9}}
+	if _, err := PlanFromEvents(bad, 2, time.Millisecond); err == nil {
+		t.Error("out-of-range device must be rejected")
+	}
+}
+
+// TestRunUnderDriftDeviceLoss replays a compiled drift timeline on the
+// wall-clock executor: permanently losing the sink's device must cost
+// throughput versus the drift-free run.
+func TestRunUnderDriftDeviceLoss(t *testing.T) {
+	c := sim.DefaultCluster(2, 1e6)
+	mk := func(dp *DriftPlan) Result {
+		g := chainGraph(200, 1)
+		p := onDevice(g, 2, 0, 0, 1)
+		cfg := faultCfg()
+		cfg.Drift = dp
+		res, err := Run(g, p, c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	clean := mk(nil)
+	events := []sim.DriftEvent{{Kind: sim.DriftDeviceLoss, Tick: 3, DurTicks: 0, Device: 1}}
+	dp, err := PlanFromEvents(events, 2, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := mk(dp)
+	t.Logf("clean=%v lost=%v crashes=%d", clean.Relative, lost.Relative, lost.DeviceCrashes)
+	if lost.Relative >= clean.Relative {
+		t.Errorf("losing the sink's device must cost throughput: clean=%v lost=%v",
+			clean.Relative, lost.Relative)
+	}
+	if lost.DeviceCrashes == 0 {
+		t.Error("the compiled loss should register as a measured crash")
+	}
+}
+
+// TestRunUnderSurgeRetunesSources checks the surge controller actually
+// retunes arrival buckets: a bounded mid-run surge must record at least
+// the onset and the decay.
+func TestRunUnderSurgeRetunesSources(t *testing.T) {
+	c := sim.DefaultCluster(1, 1e6)
+	g := chainGraph(100, 0)
+	p := onDevice(g, 1, 0, 0, 0)
+	cfg := faultCfg()
+	cfg.Drift = &DriftPlan{Surges: []SourceSurge{
+		{At: 100 * time.Millisecond, Duration: 100 * time.Millisecond, Factor: 2},
+	}}
+	res, err := Run(g, p, c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SourceRetunes < 2 {
+		t.Errorf("a bounded surge must retune sources at onset and decay, got %d", res.SourceRetunes)
+	}
+}

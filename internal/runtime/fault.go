@@ -2,13 +2,20 @@ package runtime
 
 import (
 	"fmt"
+	"sort"
 	"time"
 )
 
+// UntilEnd as a fault Duration keeps the fault active for the remainder
+// of the run. Any negative duration means the same thing; a duration of
+// exactly zero is a plan bug (a fault that never happens) and is
+// rejected by Validate.
+const UntilEnd time.Duration = -1
+
 // DeviceFault crashes one device at At for Duration (both wall-clock
 // offsets from the start of the run; multiply by Config.TimeScale for
-// simulated time). Duration <= 0 keeps the device down for the remainder
-// of the run. While down, the device's operators neither ingest, process,
+// simulated time). Duration < 0 (UntilEnd) keeps the device down for the
+// remainder of the run. While down, the device's operators neither ingest, process,
 // nor emit, so full input channels exert backpressure on upstream devices
 // exactly as a dead machine would. On restart the device comes back
 // empty: queued tuples, accumulated residual output, and NIC credits are
@@ -24,7 +31,8 @@ type DeviceFault struct {
 // every device) by Factor during [At, At+Duration): both egress and
 // ingress token rates are multiplied by Factor. Factor 0 severs the
 // link — a short Factor-0 window is a link flap — and overlapping faults
-// compound multiplicatively. Duration <= 0 lasts for the rest of the run.
+// compound multiplicatively. Duration < 0 (UntilEnd) lasts for the rest
+// of the run.
 type LinkFault struct {
 	Device   int
 	At       time.Duration
@@ -46,7 +54,12 @@ func (fp *FaultPlan) Empty() bool {
 	return fp == nil || (len(fp.Devices) == 0 && len(fp.Links) == 0)
 }
 
-// Validate checks the plan against a cluster size.
+// Validate checks the plan against a cluster size. Beyond range checks
+// it rejects zero-duration faults (a window that never covers any
+// instant is always a plan bug) and overlapping DeviceFault windows on
+// the same device — two crash schedules for one machine at once have no
+// coherent semantics, and the overlap almost always means a typo in At
+// or Duration.
 func (fp *FaultPlan) Validate(devices int) error {
 	if fp == nil {
 		return nil
@@ -58,6 +71,12 @@ func (fp *FaultPlan) Validate(devices int) error {
 		if f.At < 0 {
 			return fmt.Errorf("runtime: device fault %d has negative start %v", i, f.At)
 		}
+		if f.Duration == 0 {
+			return fmt.Errorf("runtime: device fault %d has zero duration (use UntilEnd for rest-of-run)", i)
+		}
+	}
+	if err := fp.checkDeviceOverlap(); err != nil {
+		return err
 	}
 	for i, f := range fp.Links {
 		if f.Device < -1 || f.Device >= devices {
@@ -66,6 +85,9 @@ func (fp *FaultPlan) Validate(devices int) error {
 		if f.At < 0 {
 			return fmt.Errorf("runtime: link fault %d has negative start %v", i, f.At)
 		}
+		if f.Duration == 0 {
+			return fmt.Errorf("runtime: link fault %d has zero duration (use UntilEnd for rest-of-run)", i)
+		}
 		if f.Factor < 0 {
 			return fmt.Errorf("runtime: link fault %d has negative factor %v", i, f.Factor)
 		}
@@ -73,12 +95,34 @@ func (fp *FaultPlan) Validate(devices int) error {
 	return nil
 }
 
-// active reports whether a window [at, at+dur) covers elapsed.
+// checkDeviceOverlap rejects plans where two crash windows for the same
+// device intersect. Open-ended windows (Duration < 0) extend to the end
+// of the run.
+func (fp *FaultPlan) checkDeviceOverlap() error {
+	perDevice := map[int][]DeviceFault{}
+	for _, f := range fp.Devices {
+		perDevice[f.Device] = append(perDevice[f.Device], f)
+	}
+	for d, faults := range perDevice {
+		sort.Slice(faults, func(i, j int) bool { return faults[i].At < faults[j].At })
+		for i := 1; i < len(faults); i++ {
+			prev := faults[i-1]
+			if prev.Duration < 0 || prev.At+prev.Duration > faults[i].At {
+				return fmt.Errorf("runtime: device %d has overlapping fault windows (%v+%v and %v)",
+					d, prev.At, prev.Duration, faults[i].At)
+			}
+		}
+	}
+	return nil
+}
+
+// active reports whether a window [at, at+dur) covers elapsed. A
+// negative dur (UntilEnd) is open-ended.
 func active(at, dur, elapsed time.Duration) bool {
 	if elapsed < at {
 		return false
 	}
-	return dur <= 0 || elapsed < at+dur
+	return dur < 0 || elapsed < at+dur
 }
 
 // faultSchedule is the read-only per-run view of a FaultPlan. Device

@@ -42,12 +42,34 @@ func TestFaultPlanValidate(t *testing.T) {
 	}{
 		{nil, true},
 		{&FaultPlan{}, true},
-		{&FaultPlan{Devices: []DeviceFault{{Device: 1, At: time.Millisecond}}}, true},
-		{&FaultPlan{Devices: []DeviceFault{{Device: 5}}}, false},
-		{&FaultPlan{Devices: []DeviceFault{{Device: 0, At: -time.Second}}}, false},
-		{&FaultPlan{Links: []LinkFault{{Device: -1, Factor: 0.5}}}, true},
-		{&FaultPlan{Links: []LinkFault{{Device: -2, Factor: 0.5}}}, false},
-		{&FaultPlan{Links: []LinkFault{{Device: 0, Factor: -1}}}, false},
+		{&FaultPlan{Devices: []DeviceFault{{Device: 1, At: time.Millisecond, Duration: UntilEnd}}}, true},
+		{&FaultPlan{Devices: []DeviceFault{{Device: 5, Duration: UntilEnd}}}, false},
+		{&FaultPlan{Devices: []DeviceFault{{Device: 0, At: -time.Second, Duration: UntilEnd}}}, false},
+		{&FaultPlan{Links: []LinkFault{{Device: -1, Duration: UntilEnd, Factor: 0.5}}}, true},
+		{&FaultPlan{Links: []LinkFault{{Device: -2, Duration: UntilEnd, Factor: 0.5}}}, false},
+		{&FaultPlan{Links: []LinkFault{{Device: 0, Duration: UntilEnd, Factor: -1}}}, false},
+		// Zero-duration faults never cover any instant: always a plan bug.
+		{&FaultPlan{Devices: []DeviceFault{{Device: 0, At: time.Millisecond}}}, false},
+		{&FaultPlan{Links: []LinkFault{{Device: 0, At: time.Millisecond, Factor: 0.5}}}, false},
+		// Overlapping crash windows on one device are rejected; windows
+		// that merely touch (end == next start) or hit different devices
+		// are fine.
+		{&FaultPlan{Devices: []DeviceFault{
+			{Device: 0, At: 0, Duration: 10 * time.Millisecond},
+			{Device: 0, At: 5 * time.Millisecond, Duration: 10 * time.Millisecond},
+		}}, false},
+		{&FaultPlan{Devices: []DeviceFault{
+			{Device: 0, At: 0, Duration: UntilEnd},
+			{Device: 0, At: 5 * time.Millisecond, Duration: time.Millisecond},
+		}}, false},
+		{&FaultPlan{Devices: []DeviceFault{
+			{Device: 0, At: 0, Duration: 5 * time.Millisecond},
+			{Device: 0, At: 5 * time.Millisecond, Duration: 5 * time.Millisecond},
+		}}, true},
+		{&FaultPlan{Devices: []DeviceFault{
+			{Device: 0, At: 0, Duration: 10 * time.Millisecond},
+			{Device: 1, At: 5 * time.Millisecond, Duration: 10 * time.Millisecond},
+		}}, true},
 	}
 	for i, c := range cases {
 		err := c.plan.Validate(2)
@@ -156,7 +178,7 @@ func TestLinkDegradationThrottlesCrossDeviceEdge(t *testing.T) {
 	}
 	clean := mk(nil)
 	degraded := mk(&FaultPlan{Links: []LinkFault{
-		{Device: -1, At: 0, Factor: 0.2},
+		{Device: -1, At: 0, Duration: UntilEnd, Factor: 0.2},
 	}})
 	t.Logf("clean=%v degraded=%v", clean, degraded)
 	if degraded >= clean*0.7 {
@@ -187,7 +209,7 @@ func TestLinkFlapRecovers(t *testing.T) {
 		{Device: 1, At: 150 * time.Millisecond, Duration: 80 * time.Millisecond, Factor: 0},
 	}})
 	severed := mk(&FaultPlan{Links: []LinkFault{
-		{Device: 1, At: 100 * time.Millisecond, Factor: 0},
+		{Device: 1, At: 100 * time.Millisecond, Duration: UntilEnd, Factor: 0},
 	}})
 	t.Logf("clean=%v flap=%v severed=%v", clean, flap, severed)
 	if flap > clean-0.03 {

@@ -49,6 +49,10 @@ type Config struct {
 	// Faults optionally injects device crashes and link degradations into
 	// the run (nil = fault-free execution). See FaultPlan.
 	Faults *FaultPlan
+	// Drift optionally injects source-rate surges, device pool
+	// shrink/grow, and link class changes (nil = drift-free execution).
+	// See DriftPlan and PlanFromEvents.
+	Drift *DriftPlan
 }
 
 // DefaultConfig runs 300 ms of wall time at 10× time scale.
@@ -81,6 +85,9 @@ type Result struct {
 	// LinkRetunes counts NIC rate changes the link-fault controller
 	// applied (degradations and recoveries).
 	LinkRetunes int
+	// SourceRetunes counts arrival-rate changes the surge controller
+	// applied (surge onsets and decays).
+	SourceRetunes int
 }
 
 // batch is one channel message.
@@ -158,7 +165,16 @@ func Run(g *stream.Graph, p *stream.Placement, c sim.Cluster, cfg Config) (Resul
 	if err := cfg.Faults.Validate(c.Devices); err != nil {
 		return Result{}, err
 	}
-	faults := newFaultSchedule(cfg.Faults, c.Devices)
+	if err := cfg.Drift.Validate(c.Devices); err != nil {
+		return Result{}, err
+	}
+	effective := mergeFaults(cfg.Faults, cfg.Drift)
+	if effective != cfg.Faults {
+		if err := effective.Validate(c.Devices); err != nil {
+			return Result{}, fmt.Errorf("runtime: fault and drift plans conflict: %w", err)
+		}
+	}
+	faults := newFaultSchedule(effective, c.Devices)
 
 	n := g.NumNodes()
 	start := time.Now()
@@ -233,7 +249,7 @@ func Run(g *stream.Graph, p *stream.Placement, c sim.Cluster, cfg Config) (Resul
 	// orders their final writes before the summation below.
 	crashCount := make([]int, c.Devices)
 	restartCount := make([]int, c.Devices)
-	var linkRetunes int
+	var linkRetunes, sourceRetunes int
 
 	var wg sync.WaitGroup
 	for d := 0; d < c.Devices; d++ {
@@ -492,6 +508,35 @@ func Run(g *stream.Graph, p *stream.Placement, c sim.Cluster, cfg Config) (Resul
 			}
 		}()
 	}
+	// Surge controller: periodically recompute the compound surge factor
+	// and retune every source arrival bucket when it changes — the drift
+	// analogue of the link-fault controller above.
+	if cfg.Drift != nil && len(cfg.Drift.Surges) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			current := 1.0
+			ticker := time.NewTicker(time.Millisecond)
+			defer ticker.Stop()
+			for ctx.Err() == nil {
+				select {
+				case <-ctx.Done():
+					return
+				case now := <-ticker.C:
+					f := surgeFactor(cfg.Drift.Surges, now.Sub(start))
+					if f != current {
+						current = f
+						sourceRetunes++
+						for v := 0; v < n; v++ {
+							if srcBucket[v] != nil {
+								srcBucket[v].setRate(g.SourceRate*cfg.TimeScale*f, now)
+							}
+						}
+					}
+				}
+			}
+		}()
+	}
 	wg.Wait()
 
 	window := float64(cfg.WallTime)*(1-cfg.WarmupFrac)/float64(time.Second) + 1e-12
@@ -528,10 +573,12 @@ func Run(g *stream.Graph, p *stream.Placement, c sim.Cluster, cfg Config) (Resul
 		res.DeviceRestarts += restartCount[d]
 	}
 	res.LinkRetunes = linkRetunes
+	res.SourceRetunes = sourceRetunes
 	obsRuns.Inc()
 	obsCrashes.Add(uint64(res.DeviceCrashes))
 	obsRestarts.Add(uint64(res.DeviceRestarts))
 	obsRetunes.Add(uint64(res.LinkRetunes))
+	obsSurges.Add(uint64(res.SourceRetunes))
 	return res, nil
 }
 
@@ -542,4 +589,5 @@ var (
 	obsCrashes  = obs.Default.Counter("runtime_device_crashes_total")
 	obsRestarts = obs.Default.Counter("runtime_device_restarts_total")
 	obsRetunes  = obs.Default.Counter("runtime_link_retunes_total")
+	obsSurges   = obs.Default.Counter("runtime_source_retunes_total")
 )

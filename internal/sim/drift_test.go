@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// driftChain builds src -> mid -> sink loaded so that one device at full
+// capacity exactly sustains the source rate.
+func driftChain(c Cluster) *stream.Graph {
+	g := stream.NewGraph(1000)
+	// Total demand = cluster capacity of one device at rate 1000.
+	ipt := c.CapacityOf(0) / (3 * 1000)
+	g.AddNode(stream.Node{IPT: ipt, Payload: 100})
+	g.AddNode(stream.Node{IPT: ipt, Payload: 100})
+	g.AddNode(stream.Node{IPT: ipt, Payload: 100})
+	g.AddEdge(0, 1, 100)
+	g.AddEdge(1, 2, 100)
+	return g
+}
+
+func TestSimulateDriftSurgeScalesUtilization(t *testing.T) {
+	c := DefaultCluster(2, 1000)
+	g := driftChain(c)
+	p := stream.NewPlacement(3, 2) // everything on device 0: CPU-saturated
+
+	base, err := SimulateDrift(g, p, c, NominalDrift(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	surged, err := SimulateDrift(g, p, c, DriftState{RateFactor: 2, BandwidthFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(surged.Relative-base.Relative/2) > 1e-9 {
+		t.Errorf("2x surge on a saturated device must halve relative: base=%v surged=%v",
+			base.Relative, surged.Relative)
+	}
+	if surged.Throughput < base.Throughput*0.99 {
+		t.Errorf("absolute throughput should not fall under a pure surge: base=%v surged=%v",
+			base.Throughput, surged.Throughput)
+	}
+}
+
+func TestSimulateDriftDeviceLossStrandsLoad(t *testing.T) {
+	c := DefaultCluster(2, 1000)
+	g := driftChain(c)
+	p := &stream.Placement{Assign: []int{0, 1, 0}, Devices: 2}
+
+	st := NominalDrift(2)
+	st.Available[1] = false
+	res, err := SimulateDrift(g, p, c, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relative > 1e-6 {
+		t.Errorf("operators stranded on a lost device must collapse throughput, got %v", res.Relative)
+	}
+	// Moving everything off the lost device restores throughput.
+	moved := &stream.Placement{Assign: []int{0, 0, 0}, Devices: 2}
+	res2, err := SimulateDrift(g, moved, c, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Relative < 0.9 {
+		t.Errorf("placement avoiding the lost device should sustain, got %v", res2.Relative)
+	}
+}
+
+func TestSimulateDriftBandwidthClass(t *testing.T) {
+	c := DefaultCluster(2, 1000)
+	g := driftChain(c)
+	// Split across devices so the cross edge carries traffic; make the link
+	// the bottleneck by raising the payloads.
+	for i := range g.Edges {
+		g.Edges[i].Payload = 2e6 // 2 Mb per tuple at 1000 t/s = 2 Gbps ≫ 1 Gbps
+	}
+	p := &stream.Placement{Assign: []int{0, 0, 1}, Devices: 2}
+	base, err := SimulateDrift(g, p, c, NominalDrift(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := SimulateDrift(g, p, c, DriftState{RateFactor: 1, BandwidthFactor: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Bottleneck != BottleneckNetwork {
+		t.Fatalf("expected a network bottleneck, got %v", base.Bottleneck)
+	}
+	if math.Abs(slow.Relative-base.Relative/2) > 1e-9 {
+		t.Errorf("halving the link class must halve a network-bound relative: base=%v slow=%v",
+			base.Relative, slow.Relative)
+	}
+}
+
+func TestBuildTimelineSemantics(t *testing.T) {
+	events := []DriftEvent{
+		{Kind: DriftSourceSurge, Tick: 2, DurTicks: 2, Factor: 1.5},
+		{Kind: DriftSourceSurge, Tick: 3, DurTicks: 2, Factor: 2},
+		{Kind: DriftDeviceLoss, Tick: 1, DurTicks: 3, Device: 0},
+		{Kind: DriftDeviceJoin, Tick: 4, Device: 2},
+		{Kind: DriftLinkClass, Tick: 2, Factor: 0.5},
+		{Kind: DriftLinkClass, Tick: 5, Factor: 1.25},
+	}
+	tl, err := BuildTimeline(3, 7, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl) != 7 {
+		t.Fatalf("timeline length %d, want 7", len(tl))
+	}
+	// Tick 0: device 2 absent (pre-join), all else nominal.
+	if tl[0].RateFactor != 1 || tl[0].BandwidthFactor != 1 || !tl[0].Up(0) || tl[0].Up(2) {
+		t.Errorf("tick 0 wrong: %+v", tl[0])
+	}
+	// Tick 3: both surges active (compound), device 0 lost, class 0.5.
+	if tl[3].RateFactor != 3 {
+		t.Errorf("tick 3 rate factor %v, want 3 (1.5×2)", tl[3].RateFactor)
+	}
+	if tl[3].Up(0) || tl[3].Up(2) {
+		t.Errorf("tick 3 availability wrong: %+v", tl[3].Available)
+	}
+	if tl[3].BandwidthFactor != 0.5 {
+		t.Errorf("tick 3 bandwidth %v, want 0.5", tl[3].BandwidthFactor)
+	}
+	// Tick 4: device 0 back, device 2 joined, surge 2 still active.
+	if !tl[4].Up(0) || !tl[4].Up(2) || tl[4].RateFactor != 2 {
+		t.Errorf("tick 4 wrong: %+v", tl[4])
+	}
+	// Tick 5: latest class change wins; surges expired.
+	if tl[5].BandwidthFactor != 1.25 || tl[5].RateFactor != 1 {
+		t.Errorf("tick 5 wrong: %+v", tl[5])
+	}
+	if tl[2].NumUp(3) != 1 {
+		t.Errorf("tick 2 should have exactly one device up, got %d", tl[2].NumUp(3))
+	}
+}
+
+func TestBuildTimelineRejectsBadEvents(t *testing.T) {
+	cases := [][]DriftEvent{
+		{{Kind: DriftSourceSurge, Tick: -1, Factor: 2}},
+		{{Kind: DriftSourceSurge, Tick: 0, Factor: 0}},
+		{{Kind: DriftLinkClass, Tick: 0, Factor: -1}},
+		{{Kind: DriftDeviceLoss, Tick: 0, Device: 9}},
+		{{Kind: DriftDeviceJoin, Tick: 0, Device: -1}},
+		{{Kind: DriftKind(99), Tick: 0}},
+	}
+	for i, evs := range cases {
+		if _, err := BuildTimeline(3, 4, evs); err == nil {
+			t.Errorf("case %d: expected an error for %+v", i, evs)
+		}
+	}
+}
+
+func TestDriftStateEqualAndWithDrift(t *testing.T) {
+	a := NominalDrift(2)
+	b := NominalDrift(2)
+	if !a.Equal(b) {
+		t.Error("identical states must compare equal")
+	}
+	b.Available[1] = false
+	if a.Equal(b) {
+		t.Error("availability change must break equality")
+	}
+	c := DefaultCluster(2, 1000)
+	dc := c.WithDrift(b)
+	if dc.CapacityOf(1) >= c.CapacityOf(1)*1e-6 {
+		t.Errorf("lost device kept capacity %v", dc.CapacityOf(1))
+	}
+	if dc.CapacityOf(0) != c.CapacityOf(0) {
+		t.Errorf("surviving device capacity changed: %v vs %v", dc.CapacityOf(0), c.CapacityOf(0))
+	}
+}
+
+func TestScaleSourceRateSharesFeatures(t *testing.T) {
+	c := DefaultCluster(2, 1000)
+	g := driftChain(c)
+	sg := g.ScaleSourceRate(2)
+	if sg.SourceRate != 2*g.SourceRate {
+		t.Fatalf("scaled rate %v, want %v", sg.SourceRate, 2*g.SourceRate)
+	}
+	if g.ScaleSourceRate(1) != g {
+		t.Error("factor 1 must return the same graph")
+	}
+	// Loads scale linearly.
+	l0 := g.NodeLoad()
+	l1 := sg.NodeLoad()
+	for i := range l0 {
+		if math.Abs(l1[i]-2*l0[i]) > 1e-9*l0[i] {
+			t.Errorf("node %d load %v, want %v", i, l1[i], 2*l0[i])
+		}
+	}
+}

@@ -17,6 +17,7 @@ type nodeJSON struct {
 	IPT         float64 `json:"ipt"`
 	Payload     float64 `json:"payload"`
 	Selectivity float64 `json:"selectivity"`
+	State       float64 `json:"state,omitempty"`
 	Name        string  `json:"name,omitempty"`
 }
 

@@ -25,6 +25,12 @@ type Node struct {
 	Payload float64
 	// Selectivity is output tuples emitted per input tuple (1 by default).
 	Selectivity float64
+	// State is the size in bits of the operator's internal state (window
+	// contents, join hash tables, …). Stateless operators keep 0. Moving a
+	// stateful operator between devices costs its state plus the tuples in
+	// flight toward it, which is what the re-allocation loop's move-cost
+	// model charges.
+	State float64
 	// Name is an optional human-readable label (used by examples/DOT).
 	Name string
 }
@@ -602,6 +608,32 @@ func (g *Graph) DOT(p *Placement) string {
 	}
 	b.WriteString("}\n")
 	return b.String()
+}
+
+// ScaleSourceRate returns a view of the graph with every source ingesting
+// f× the base tuple rate — a source-rate surge. Nodes and edges are shared
+// (the per-tuple features are rate independent); steady-state rates, loads,
+// and traffic all scale linearly with the source rate, so explicit demand
+// overrides are scaled by the same factor.
+func (g *Graph) ScaleSourceRate(f float64) *Graph {
+	if f <= 0 {
+		panic(fmt.Sprintf("stream: non-positive source-rate factor %g", f))
+	}
+	if f == 1 {
+		return g
+	}
+	sg := &Graph{Nodes: g.Nodes, Edges: g.Edges, SourceRate: g.SourceRate * f}
+	if g.loadOverride != nil {
+		sg.loadOverride = make([]float64, len(g.loadOverride))
+		sg.trafficOverride = make([]float64, len(g.trafficOverride))
+		for i, v := range g.loadOverride {
+			sg.loadOverride[i] = v * f
+		}
+		for i, v := range g.trafficOverride {
+			sg.trafficOverride[i] = v * f
+		}
+	}
+	return sg
 }
 
 // Clone deep-copies the graph.
