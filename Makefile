@@ -5,11 +5,11 @@ BENCH_OUT ?= BENCH_2
 # committed baseline it compares against, and the per-metric threshold in
 # percent (applies to ns/op, allocs/op and — for benchmarks with MxKxN dims
 # in the name — GFLOP/s; min-of-count filters noise).
-BENCH_FILTER ?= 'BenchmarkGNNEncode|BenchmarkMatMul$$|BenchmarkMetisPartition|BenchmarkCoarsenAllocate|BenchmarkSimulate$$|BenchmarkTrainEpoch'
+BENCH_FILTER ?= 'BenchmarkGNNEncode|BenchmarkMatMul$$|BenchmarkMetisPartition|BenchmarkCoarsenAllocate|BenchmarkSimulate$$|BenchmarkTrainEpoch|BenchmarkServe'
 BENCH_BASELINE ?= BENCH_BASELINE.json
 BENCH_THRESHOLD ?= 10
 
-.PHONY: build test check race vet fmt bench bench-smoke bench-gate bench-baseline bench-kernels benchdiff curve chaos
+.PHONY: build test check race vet fmt bench bench-smoke bench-gate bench-baseline bench-kernels benchdiff curve chaos serve-smoke serve-bench
 
 build:
 	$(GO) build ./...
@@ -48,10 +48,24 @@ curve:
 		-pretrain 0 -epochs 1 -quiet -curve-out .curve.jsonl
 	$(GO) run ./cmd/curvecheck .curve.jsonl
 
+# Serving smoke: boot the real allocserve wiring on :0, allocate a
+# generated graph over HTTP (cold + cached), hot-swap via /reload, and
+# scrape /metrics.
+serve-smoke:
+	$(GO) test -count=1 -run TestAllocServeSmoke ./cmd/allocserve/
+
+# Serving regression bench: the end-to-end service benchmarks (cold and
+# cached paths under 1/8/64 concurrent clients) diffed against the
+# committed baseline.
+serve-bench:
+	$(GO) test -run=NONE -bench=BenchmarkServe -benchmem -count=3 . > .bench_serve.txt
+	$(GO) run ./cmd/benchjson .bench_serve.txt > .bench_serve.json
+	$(GO) run ./cmd/benchjson -diff -threshold $(BENCH_THRESHOLD) $(BENCH_BASELINE) .bench_serve.json
+
 # Full pre-merge check: formatting + vet + race-detected tests + chaos
-# suites + benchmark smoke run + observability smoke + regression gate
-# against the committed baseline.
-check: fmt vet race chaos bench-smoke curve bench-gate
+# suites + benchmark smoke run + observability smoke + serving smoke +
+# regression gate against the committed baseline.
+check: fmt vet race chaos bench-smoke curve serve-smoke bench-gate
 
 # Regression gate: measure the stable micro set (min of -count=3) and fail
 # when any benchmark regressed more than BENCH_THRESHOLD percent in ns/op

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -15,9 +16,11 @@ import (
 	"repro/internal/gnn"
 	"repro/internal/metis"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/placer"
 	"repro/internal/rl"
 	rtpkg "repro/internal/runtime"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/stream"
 	"repro/internal/tensor"
@@ -458,6 +461,83 @@ func BenchmarkTrainEpoch(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkServe measures the allocation service end-to-end, in process
+// (no HTTP): the cold path (unique requests → batched tape-free forward
+// pass + placement) and the cached path (repeat requests served straight
+// from the placement LRU), each under 1, 8, and 64 concurrent clients.
+// The single-client runs disable the coalescing window — with no second
+// client it is pure added latency — so they measure the bare request
+// path; the concurrent runs keep the default 200µs window so the batcher
+// actually stacks forward passes.
+func BenchmarkServe(b *testing.B) {
+	s := gen.Small()
+	graphs := s.Generate().Test
+	model := core.New(core.DefaultConfig())
+
+	// runClients drains b.N iterations across a fixed client pool.
+	runClients := func(b *testing.B, clients int, fn func(i int)) {
+		var next int64
+		var wg sync.WaitGroup
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= b.N {
+						return
+					}
+					fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for _, clients := range []int{1, 8, 64} {
+		window := 200 * time.Microsecond
+		if clients == 1 {
+			window = -1
+		}
+		b.Run(fmt.Sprintf("cold-c%d", clients), func(b *testing.B) {
+			svc, err := serve.New(serve.Options{Model: model, BatchWindow: window, Registry: obs.NewRegistry()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer svc.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			runClients(b, clients, func(i int) {
+				// A unique source-rate view per iteration keeps every
+				// fingerprint distinct, forcing the full forward + placement.
+				g := graphs[i%len(graphs)].ScaleSourceRate(1 + float64(i)*1e-9)
+				if _, err := svc.Allocate(g, s.Cluster); err != nil {
+					b.Error(err)
+				}
+			})
+		})
+		b.Run(fmt.Sprintf("cached-c%d", clients), func(b *testing.B) {
+			svc, err := serve.New(serve.Options{Model: model, BatchWindow: window, Registry: obs.NewRegistry()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer svc.Close()
+			for _, g := range graphs {
+				if _, err := svc.Allocate(g, s.Cluster); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			runClients(b, clients, func(i int) {
+				if _, err := svc.Allocate(graphs[i%len(graphs)], s.Cluster); err != nil {
+					b.Error(err)
+				}
+			})
 		})
 	}
 }

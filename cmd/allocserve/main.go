@@ -1,0 +1,136 @@
+// Command allocserve is the allocation-as-a-service daemon: it loads a
+// checkpointed coarsening model and answers "stream graph spec →
+// placement" over HTTP/JSON at high QPS. The hot path is the tape-free
+// batched forward pass in internal/serve; repeat requests hit a bounded
+// placement cache keyed by the canonical request fingerprint.
+//
+// Usage:
+//
+//	allocserve -listen :8080 -model model.json [-devices 10] [-mbps 1000]
+//	curl -s localhost:8080/allocate -d '{"graph":{"source_rate":10000,
+//	  "nodes":[{"ipt":10,"payload":64},{"ipt":20,"payload":32}],
+//	  "edges":[{"src":0,"dst":1}]}}'
+//
+// Endpoints: POST /allocate, POST /reload, GET /healthz, GET /metrics,
+// GET /debug/vars. SIGHUP re-reads -model and hot-swaps the parameters
+// (in-flight requests finish on the old snapshot); SIGINT/SIGTERM drain
+// and exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", ":8080", "HTTP listen address, e.g. :8080 or :0")
+		modelPath   = flag.String("model", "", "model parameter checkpoint (JSON); empty serves a fresh seeded model")
+		hidden      = flag.Int("hidden", 24, "GNN half-embedding width (must match the checkpoint)")
+		seed        = flag.Int64("seed", 1, "parameter seed when -model is empty")
+		cacheSize   = flag.Int("cache", 4096, "placement cache entries (<0 disables)")
+		batchWindow = flag.Duration("batch-window", 200*time.Microsecond, "coalescing window after the first request of a batch (0 disables)")
+		maxBatch    = flag.Int("max-batch", 16, "max requests per batched forward pass")
+		devices     = flag.Int("devices", 10, "default cluster size when a request omits its cluster")
+		mbps        = flag.Float64("mbps", 1000, "default cluster link bandwidth (Mbps)")
+		verbose     = flag.Bool("v", false, "verbose logging (debug level)")
+	)
+	flag.Parse()
+
+	obs.Log.SetLevel(obs.LevelInfo)
+	if *verbose {
+		obs.Log.SetLevel(obs.LevelDebug)
+	}
+
+	svc, srv, err := startServer(*listen, *modelPath, *hidden, *seed, *cacheSize, *batchWindow, *maxBatch,
+		sim.DefaultCluster(*devices, *mbps), obs.Default)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "allocserve: serving on http://%s (model_version=%d)\n", srv.Addr(), svc.Version())
+
+	// SIGHUP hot-swaps the model; SIGINT/SIGTERM drain and exit. A dead
+	// accept loop is polled so the daemon fails loudly instead of idling
+	// with no listener.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case sig := <-sigCh:
+			if sig == syscall.SIGHUP {
+				if err := svc.Reload(*modelPath); err != nil {
+					obs.Log.Warnf("allocserve: reload: %v", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "allocserve: reloaded (model_version=%d)\n", svc.Version())
+				}
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "allocserve: %v, draining\n", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			err := srv.Shutdown(ctx)
+			cancel()
+			svc.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		case <-tick.C:
+			if err := srv.Err(); err != nil {
+				svc.Close()
+				fmt.Fprintf(os.Stderr, "allocserve: listener died: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// startServer wires model → service → HTTP listener; the smoke test runs
+// the same path on :0.
+func startServer(listen, modelPath string, hidden int, seed int64, cacheSize int,
+	batchWindow time.Duration, maxBatch int, defCluster sim.Cluster, reg *obs.Registry) (*serve.Service, *obs.Server, error) {
+	mcfg := core.DefaultConfig()
+	mcfg.Hidden = hidden
+	mcfg.Seed = seed
+	model := core.New(mcfg)
+	if modelPath != "" {
+		if err := nn.LoadParams(model.PS, modelPath); err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d parameters from %s\n", model.PS.Count(), modelPath)
+	}
+
+	svc, err := serve.New(serve.Options{
+		Model:       model,
+		CacheSize:   cacheSize,
+		BatchWindow: batchWindow,
+		MaxBatch:    maxBatch,
+		Registry:    reg,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var h http.Handler = serve.Handler(svc, defCluster, modelPath, reg)
+	srv, err := obs.ServeHandler(listen, h)
+	if err != nil {
+		svc.Close()
+		return nil, nil, err
+	}
+	return svc, srv, nil
+}

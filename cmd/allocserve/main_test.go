@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/stream"
+)
+
+// specFromGraph converts a generated stream graph into the wire format.
+func specFromGraph(g *stream.Graph) serve.GraphSpec {
+	gs := serve.GraphSpec{SourceRate: g.SourceRate}
+	for _, n := range g.Nodes {
+		gs.Nodes = append(gs.Nodes, serve.NodeSpec{IPT: n.IPT, Payload: n.Payload, Selectivity: n.Selectivity, State: n.State})
+	}
+	for _, e := range g.Edges {
+		gs.Edges = append(gs.Edges, serve.EdgeSpec{Src: e.Src, Dst: e.Dst, Payload: e.Payload})
+	}
+	return gs
+}
+
+// TestAllocServeSmoke boots the real server wiring on :0, allocates a
+// generated graph twice over HTTP (cold then cached), hot-swaps via
+// /reload, and checks the /metrics exposition carries the serve counters.
+func TestAllocServeSmoke(t *testing.T) {
+	s := gen.Small()
+	g := s.Generate().Test[0]
+
+	reg := obs.NewRegistry()
+	svc, srv, err := startServer("127.0.0.1:0", "", 24, 1, 1024, 200*time.Microsecond, 16, s.Cluster, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	body, err := json.Marshal(serve.AllocateRequest{Graph: specFromGraph(g)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func() serve.AllocateResponse {
+		t.Helper()
+		resp, err := http.Post(base+"/allocate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(resp.Body)
+			t.Fatalf("POST /allocate: status %d: %s", resp.StatusCode, msg)
+		}
+		var out serve.AllocateResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	cold := post()
+	if len(cold.Assign) != g.NumNodes() {
+		t.Fatalf("assign covers %d of %d operators", len(cold.Assign), g.NumNodes())
+	}
+	for i, d := range cold.Assign {
+		if d < 0 || d >= s.Cluster.Devices {
+			t.Fatalf("operator %d on out-of-range device %d", i, d)
+		}
+	}
+	if cold.Cached || cold.ModelVersion != 1 {
+		t.Fatalf("cold response: cached=%v version=%d", cold.Cached, cold.ModelVersion)
+	}
+	if cold.RelativeThroughput <= 0 {
+		t.Fatalf("non-positive relative throughput %v", cold.RelativeThroughput)
+	}
+
+	warm := post()
+	if !warm.Cached {
+		t.Fatal("second identical request missed the cache")
+	}
+	for i := range cold.Assign {
+		if warm.Assign[i] != cold.Assign[i] {
+			t.Fatalf("cached placement drifted at operator %d", i)
+		}
+	}
+
+	// Hot swap over HTTP ("" reload path → re-snapshot live params).
+	resp, err := http.Post(base+"/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(msg), "model_version=2") {
+		t.Fatalf("POST /reload: status %d: %s", resp.StatusCode, msg)
+	}
+	if v := post().ModelVersion; v != 2 {
+		t.Fatalf("post-reload allocation served by version %d", v)
+	}
+
+	// Health and metrics.
+	hr, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	if !strings.Contains(string(hb), "ok model_version=2") {
+		t.Fatalf("healthz: %s", hb)
+	}
+	mr, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	metrics := string(mb)
+	for _, want := range []string{
+		"serve_requests_total 3",
+		"serve_cache_hits_total 1",
+		"serve_reloads_total 1",
+		"serve_model_version 2",
+		"# TYPE serve_latency_ms histogram",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// Malformed specs are client errors, not 500s.
+	bad, err := http.Post(base+"/allocate", "application/json", strings.NewReader(`{"graph":{"source_rate":1,"nodes":[{"ipt":1,"payload":1}],"edges":[{"src":0,"dst":9}]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range edge: status %d, want 400", bad.StatusCode)
+	}
+}

@@ -1,0 +1,119 @@
+// Package cache provides a small, dependency-free, mutex-guarded LRU with
+// exact (collision-free) keys. It generalizes the reward memoization cache
+// that the REINFORCE loop has used since PR 3 so the same implementation can
+// back any bounded memoization: reward-by-decision in training, and
+// placement-by-graph-fingerprint in the inference server. Keys are whatever
+// comparable type the caller picks — the cache never hashes or truncates
+// them, so a hit can never alias a different key.
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// LRU is a bounded least-recently-used cache, safe for concurrent use.
+// The zero value is not usable; construct with New.
+type LRU[K comparable, V any] struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[K]*list.Element
+	order   *list.List // front = most recently used
+	hits    uint64
+	misses  uint64
+	// Optional continuous counters mirroring hits/misses (nil-safe).
+	obsHits   *obs.Counter
+	obsMisses *obs.Counter
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New returns an LRU bounded to capacity entries (minimum 1).
+func New[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[K, V]{
+		cap:     capacity,
+		entries: make(map[K]*list.Element, capacity),
+		order:   list.New(),
+	}
+}
+
+// Instrument mirrors every hit and miss into the given obs counters so a
+// live /metrics scrape sees cache effectiveness without polling Stats().
+// Either counter may be nil (obs.Counter methods are nil-safe).
+func (c *LRU[K, V]) Instrument(hits, misses *obs.Counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.obsHits, c.obsMisses = hits, misses
+}
+
+// Get returns the value for key and whether it was present, marking the
+// entry most-recently-used on a hit.
+func (c *LRU[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		c.obsMisses.Inc()
+		var zero V
+		return zero, false
+	}
+	c.hits++
+	c.obsHits.Inc()
+	c.order.MoveToFront(el)
+	return el.Value.(*entry[K, V]).val, true
+}
+
+// Put stores the value for key, evicting the least-recently-used entry
+// when the cache is full. Re-putting an existing key updates its value and
+// marks it most-recently-used.
+func (c *LRU[K, V]) Put(key K, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry[K, V]).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*entry[K, V]).key)
+	}
+	c.entries[key] = c.order.PushFront(&entry[K, V]{key: key, val: val})
+}
+
+// Len returns the number of cached entries.
+func (c *LRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Cap returns the configured capacity bound.
+func (c *LRU[K, V]) Cap() int { return c.cap }
+
+// Stats returns the cumulative hit and miss counts.
+func (c *LRU[K, V]) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Clear drops every entry (hit/miss counters are retained). Use when the
+// key namespace changes meaning, e.g. between curriculum levels or after a
+// model reload invalidates every cached value.
+func (c *LRU[K, V]) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	clear(c.entries)
+	c.order.Init()
+}

@@ -1,0 +1,116 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestLRUBasic(t *testing.T) {
+	c := New[string, int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v,%v want 1,true", v, ok)
+	}
+	// "a" is now MRU; inserting "c" must evict "b".
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a lost after eviction: %v,%v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Fatalf("c missing: %v,%v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d want 2", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 3 || misses != 2 {
+		t.Fatalf("Stats = %d,%d want 3,2", hits, misses)
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := New[int, string](2)
+	c.Put(1, "x")
+	c.Put(2, "y")
+	c.Put(1, "z") // update marks 1 MRU
+	c.Put(3, "w") // evicts 2, not 1
+	if v, ok := c.Get(1); !ok || v != "z" {
+		t.Fatalf("Get(1) = %q,%v want z,true", v, ok)
+	}
+	if _, ok := c.Get(2); ok {
+		t.Fatal("2 should have been evicted")
+	}
+}
+
+func TestLRUClearAndMinCap(t *testing.T) {
+	c := New[string, int](0) // clamps to 1
+	if c.Cap() != 1 {
+		t.Fatalf("Cap = %d want 1", c.Cap())
+	}
+	c.Put("a", 1)
+	c.Put("b", 2) // evicts a
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should be gone at cap 1")
+	}
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", c.Len())
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived Clear")
+	}
+	hits, misses := c.Stats()
+	if hits != 0 || misses == 0 {
+		t.Fatalf("counters should survive Clear: %d,%d", hits, misses)
+	}
+}
+
+func TestLRUInstrument(t *testing.T) {
+	reg := obs.NewRegistry()
+	hits := reg.Counter("test_hits_total")
+	misses := reg.Counter("test_misses_total")
+	c := New[string, int](4)
+	c.Instrument(hits, misses)
+	c.Put("a", 1)
+	c.Get("a")
+	c.Get("a")
+	c.Get("zzz")
+	if got := hits.Value(); got != 2 {
+		t.Fatalf("obs hits = %d want 2", got)
+	}
+	if got := misses.Value(); got != 1 {
+		t.Fatalf("obs misses = %d want 1", got)
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := New[int, int](64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := (w*31 + i) % 100
+				if v, ok := c.Get(k); ok && v != k*2 {
+					panic(fmt.Sprintf("corrupt value for %d: %d", k, v))
+				}
+				c.Put(k, k*2)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("Len %d exceeds cap 64", c.Len())
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/nn"
+	"repro/internal/placer"
+	"repro/internal/sim"
+)
+
+// TestInferProbsBitIdentical pins the serving contract: the tape-free
+// forward pass must produce bit-for-bit the same merge probabilities as
+// the training-path tape, for the live values and for a snapshot, across
+// a spread of graph sizes and both ablation configs.
+func TestInferProbsBitIdentical(t *testing.T) {
+	for _, s := range []gen.Setting{gen.Small(), gen.Medium5K()} {
+		graphs := s.Generate().Test
+		if len(graphs) > 4 {
+			graphs = graphs[:4]
+		}
+		for _, cfg := range []Config{
+			DefaultConfig(),
+			{UseEdgeEncoding: false, UseEdgeCollapse: false, Seed: 7},
+		} {
+			mo := New(cfg)
+			snap := nn.NewSnapshot(mo.PS)
+			for gi, g := range graphs {
+				want := mo.Probs(g, s.Cluster)
+				gotLive := mo.InferProbs(g, s.Cluster, nn.LiveValues{})
+				gotSnap := mo.InferProbs(g, s.Cluster, snap)
+				if len(want) != len(gotLive) || len(want) != len(gotSnap) {
+					t.Fatalf("%s graph %d: length mismatch %d/%d/%d",
+						s.Name, gi, len(want), len(gotLive), len(gotSnap))
+				}
+				for i := range want {
+					if math.Float64bits(want[i]) != math.Float64bits(gotLive[i]) {
+						t.Fatalf("%s graph %d edge %d (live): tape %v infer %v",
+							s.Name, gi, i, want[i], gotLive[i])
+					}
+					if math.Float64bits(want[i]) != math.Float64bits(gotSnap[i]) {
+						t.Fatalf("%s graph %d edge %d (snapshot): tape %v infer %v",
+							s.Name, gi, i, want[i], gotSnap[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInferProbsAcrossGOMAXPROCS pins that the tape-free path is
+// bit-identical whether the blocked kernels run serial or parallel.
+func TestInferProbsAcrossGOMAXPROCS(t *testing.T) {
+	s := gen.Medium5K()
+	g := s.Generate().Test[0]
+	mo := New(DefaultConfig())
+
+	prev := runtime.GOMAXPROCS(1)
+	one := mo.InferProbs(g, s.Cluster, nn.LiveValues{})
+	runtime.GOMAXPROCS(prev)
+	many := mo.InferProbs(g, s.Cluster, nn.LiveValues{})
+	for i := range one {
+		if math.Float64bits(one[i]) != math.Float64bits(many[i]) {
+			t.Fatalf("edge %d: GOMAXPROCS=1 %v, GOMAXPROCS=%d %v", i, one[i], prev, many[i])
+		}
+	}
+}
+
+// TestAllocateRankedOnInferProbs pins the end-to-end serving claim at the
+// core layer: ranking the zero-tape probabilities yields exactly the
+// placement the offline Pipeline.Allocate computes.
+func TestAllocateRankedOnInferProbs(t *testing.T) {
+	s := gen.Small()
+	pl := &Pipeline{Model: New(DefaultConfig()), Placer: placer.Metis{Seed: 1}}
+	snap := nn.NewSnapshot(pl.Model.PS)
+	for gi, g := range s.Generate().Test[:4] {
+		offline := pl.Allocate(g, s.Cluster)
+		served := pl.AllocateRanked(g, s.Cluster, pl.Model.InferProbs(g, s.Cluster, snap))
+		if len(offline.Placement.Assign) != len(served.Placement.Assign) {
+			t.Fatalf("graph %d: assign length mismatch", gi)
+		}
+		for i := range offline.Placement.Assign {
+			if offline.Placement.Assign[i] != served.Placement.Assign[i] {
+				t.Fatalf("graph %d node %d: offline device %d, served device %d",
+					gi, i, offline.Placement.Assign[i], served.Placement.Assign[i])
+			}
+		}
+		ro := sim.Reward(g, offline.Placement, s.Cluster)
+		rs := sim.Reward(g, served.Placement, s.Cluster)
+		if math.Float64bits(ro) != math.Float64bits(rs) {
+			t.Fatalf("graph %d: reward mismatch %v vs %v", gi, ro, rs)
+		}
+	}
+}

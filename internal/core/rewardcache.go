@@ -1,7 +1,7 @@
-// rewardcache.go implements a bounded LRU memoization cache for simulated
-// rewards. The REINFORCE loop repeatedly scores (graph, decision) pairs
-// through the full coarsen → partition → simulate pipeline; because every
-// stage is deterministic, identical pairs always produce the identical
+// rewardcache.go memoizes simulated rewards behind the generic bounded LRU
+// in internal/cache. The REINFORCE loop repeatedly scores (graph, decision)
+// pairs through the full coarsen → partition → simulate pipeline; because
+// every stage is deterministic, identical pairs always produce the identical
 // reward, so re-simulating a decision the policy has already visited
 // (duplicate on-policy samples once probabilities saturate, Metis-guided
 // seeds resampled by a confident policy) is pure waste. The cache key is
@@ -11,42 +11,21 @@
 package core
 
 import (
-	"container/list"
 	"encoding/binary"
-	"sync"
 
+	"repro/internal/cache"
 	"repro/internal/obs"
 )
 
 // RewardCache memoizes decision rewards with LRU eviction. It is safe for
 // concurrent use (sample scoring fans out across workers).
 type RewardCache struct {
-	mu      sync.Mutex
-	cap     int
-	entries map[string]*list.Element
-	order   *list.List // front = most recently used
-	hits    uint64
-	misses  uint64
-	// Optional continuous counters mirroring hits/misses (nil-safe).
-	obsHits   *obs.Counter
-	obsMisses *obs.Counter
-}
-
-type rewardEntry struct {
-	key    string
-	reward float64
+	lru *cache.LRU[string, float64]
 }
 
 // NewRewardCache returns a cache bounded to capacity entries (minimum 1).
 func NewRewardCache(capacity int) *RewardCache {
-	if capacity < 1 {
-		capacity = 1
-	}
-	return &RewardCache{
-		cap:     capacity,
-		entries: make(map[string]*list.Element, capacity),
-		order:   list.New(),
-	}
+	return &RewardCache{lru: cache.New[string, float64](capacity)}
 }
 
 // DecisionKey packs (graph id, decision bitset) into an exact cache key:
@@ -68,65 +47,23 @@ func DecisionKey(graph int, d Decision) string {
 // live /metrics scrape sees cache effectiveness without polling Stats().
 // Either counter may be nil (obs.Counter methods are nil-safe).
 func (c *RewardCache) Instrument(hits, misses *obs.Counter) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.obsHits, c.obsMisses = hits, misses
+	c.lru.Instrument(hits, misses)
 }
 
 // Get returns the memoized reward for key and whether it was present,
 // marking the entry most-recently-used on a hit.
-func (c *RewardCache) Get(key string) (float64, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		c.misses++
-		c.obsMisses.Inc()
-		return 0, false
-	}
-	c.hits++
-	c.obsHits.Inc()
-	c.order.MoveToFront(el)
-	return el.Value.(*rewardEntry).reward, true
-}
+func (c *RewardCache) Get(key string) (float64, bool) { return c.lru.Get(key) }
 
 // Put memoizes the reward for key, evicting the least-recently-used entry
 // when the cache is full.
-func (c *RewardCache) Put(key string, reward float64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		el.Value.(*rewardEntry).reward = reward
-		c.order.MoveToFront(el)
-		return
-	}
-	for c.order.Len() >= c.cap {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*rewardEntry).key)
-	}
-	c.entries[key] = c.order.PushFront(&rewardEntry{key: key, reward: reward})
-}
+func (c *RewardCache) Put(key string, reward float64) { c.lru.Put(key, reward) }
 
 // Len returns the number of memoized entries.
-func (c *RewardCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.order.Len()
-}
+func (c *RewardCache) Len() int { return c.lru.Len() }
 
 // Stats returns the cumulative hit and miss counts.
-func (c *RewardCache) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
-}
+func (c *RewardCache) Stats() (hits, misses uint64) { return c.lru.Stats() }
 
 // Clear drops every entry (hit/miss counters are retained). Use when the
 // graph-id namespace changes meaning, e.g. between curriculum levels.
-func (c *RewardCache) Clear() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	clear(c.entries)
-	c.order.Init()
-}
+func (c *RewardCache) Clear() { c.lru.Clear() }

@@ -1,0 +1,70 @@
+// infer.go is the encoder's tape-free forward pass for serving. It mirrors
+// Encode kernel-for-kernel — the same fused tensor kernels, the same
+// operand order, the same materialized W1ᵀ/W2ᵀ copies — so for identical
+// parameter values the returned embeddings are bit-identical to the
+// training-path forward pass. Scratch comes from the caller's tensor.Scope
+// instead of the tape, so a reused scope performs no steady-state
+// allocation.
+package gnn
+
+import (
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// EncodeInfer computes the N×2M node representations without recording an
+// autodiff tape. The returned matrix is owned by sc and is valid until
+// sc.Release.
+func (e *Encoder) EncodeInfer(sc *tensor.Scope, r nn.ValueReader, f *Features) *tensor.Matrix {
+	n := f.Node.Rows
+	m := e.M
+	h := e.In.InferTanh(sc, r, f.Node) // N×2M, fused affine+tanh
+
+	w1 := r.Value(e.W1)
+	w2 := r.Value(e.W2)
+	w1T := tensor.TransposeInto(w1, sc.Get(w1.Cols, w1.Rows)) // 2M×M
+	w2T := tensor.TransposeInto(w2, sc.Get(w2.Cols, w2.Rows)) // 2M×M
+
+	// Loop-invariant edge-feature projections, as in Encode.
+	var efUp, efDown *tensor.Matrix
+	if e.UseEdgeFeatures {
+		weUp, weDown := r.Value(e.WeUp), r.Value(e.WeDown)
+		efUp = tensor.MatMulT2Into(f.Edge, weUp, sc.Get(f.Edge.Rows, weUp.Rows))       // E×M
+		efDown = tensor.MatMulT2Into(f.Edge, weDown, sc.Get(f.Edge.Rows, weDown.Rows)) // E×M
+	}
+
+	gatherTanh := func(src []int, ef *tensor.Matrix) *tensor.Matrix {
+		if len(src) == 0 {
+			// Edgeless graph: 0×M result, matching the tape's special case.
+			return sc.Get(0, m)
+		}
+		return tensor.GatherMatMulAddTanhInto(h, src, w1T, ef, sc.Get(len(src), m))
+	}
+
+	for k := 0; k < e.K; k++ {
+		// Upstream messages: transform the head node of each edge (+ edge
+		// features), mean-pool at the tail; downstream mirrors it.
+		msgIn := gatherTanh(f.Src, efUp)
+		aggIn := tensor.SegmentMeanInto(msgIn, f.Dst, n, sc.Get(n, m))
+		msgOut := gatherTanh(f.Dst, efDown)
+		aggOut := tensor.SegmentMeanInto(msgOut, f.Src, n, sc.Get(n, m))
+
+		// [own half : aggregated messages] → next half, fused matmul+tanh.
+		// The column slices of h are concatenated straight out of h, which
+		// copies the same values the tape's SliceCols+ConcatCols pair does.
+		catUp := sc.Get(n, 2*m)
+		catDown := sc.Get(n, 2*m)
+		for i := 0; i < n; i++ {
+			hrow := h.Row(i)
+			up, down := catUp.Row(i), catDown.Row(i)
+			copy(up[:m], hrow[:m])
+			copy(up[m:], aggIn.Row(i))
+			copy(down[:m], hrow[m:])
+			copy(down[m:], aggOut.Row(i))
+		}
+		nextUp := tensor.MatMulTanhInto(catUp, w2T, sc.Get(n, m))
+		nextDown := tensor.MatMulTanhInto(catDown, w2T, sc.Get(n, m))
+		h = tensor.ConcatColsInto(sc.Get(n, 2*m), nextUp, nextDown)
+	}
+	return h
+}

@@ -1,0 +1,63 @@
+// infer.go is the tape-free forward path. Training records every op on the
+// autodiff tape so gradients can flow back; serving never needs gradients,
+// so the same layers expose Infer variants that call the identical fused
+// tensor kernels directly, with scratch borrowed from the arena through a
+// tensor.Scope. Each Infer mirrors its tape twin kernel-for-kernel — same
+// kernels, same operand order — so inference output is bit-identical to
+// the training-path forward pass for the same parameter values.
+package nn
+
+import (
+	"repro/internal/tensor"
+)
+
+// ValueReader resolves a parameter to the matrix a forward pass should
+// read. Snapshot implements it (a consistent read-only copy for serving
+// and replicas); LiveValues reads the live training values.
+type ValueReader interface {
+	Value(p *Param) *tensor.Matrix
+}
+
+// LiveValues is the ValueReader over the live parameter matrices.
+type LiveValues struct{}
+
+// Value returns p's live value matrix.
+func (LiveValues) Value(p *Param) *tensor.Matrix { return p.Value }
+
+// Infer computes y = x·Wᵀ + b without recording a tape entry, borrowing
+// the output from sc. Mirrors Apply's fused kernel exactly.
+func (l *Linear) Infer(sc *tensor.Scope, r ValueReader, x *tensor.Matrix) *tensor.Matrix {
+	w, bias := r.Value(l.W), r.Value(l.B)
+	return tensor.MatMulT2BiasInto(x, w, bias, sc.Get(x.Rows, w.Rows))
+}
+
+// InferTanh computes y = tanh(x·Wᵀ + b) without a tape entry. Mirrors
+// ApplyTanh's fused kernel exactly.
+func (l *Linear) InferTanh(sc *tensor.Scope, r ValueReader, x *tensor.Matrix) *tensor.Matrix {
+	w, bias := r.Value(l.W), r.Value(l.B)
+	return tensor.MatMulT2BiasTanhInto(x, w, bias, sc.Get(x.Rows, w.Rows))
+}
+
+// Infer runs the MLP forward without a tape, taking the same kernel path
+// as Apply: tanh layers use the fused affine+tanh kernel, other
+// activations run as a separate elementwise kernel over the affine output.
+func (m *MLP) Infer(sc *tensor.Scope, r ValueReader, x *tensor.Matrix) *tensor.Matrix {
+	for i, l := range m.Layers {
+		act := m.Hidden
+		if i+1 == len(m.Layers) {
+			act = m.Out
+		}
+		if act == ActTanh {
+			x = l.InferTanh(sc, r, x)
+			continue
+		}
+		x = l.Infer(sc, r, x)
+		switch act {
+		case ActSigmoid:
+			x = tensor.SigmoidInto(x, sc.Get(x.Rows, x.Cols))
+		case ActReLU:
+			x = tensor.ReLUInto(x, sc.Get(x.Rows, x.Cols))
+		}
+	}
+	return x
+}

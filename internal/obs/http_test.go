@@ -1,12 +1,14 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestMetricsRoundTrip scrapes /metrics over a real HTTP round-trip and
@@ -114,5 +116,119 @@ func TestServeLifecycle(t *testing.T) {
 	}
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestShutdownDrainsInFlight pins graceful shutdown: a request already in
+// the handler when Shutdown starts must complete with a full response
+// rather than a dropped connection.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		io.WriteString(w, "drained")
+	})
+	srv, err := ServeHandler("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/slow")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		got <- result{body: string(body), err: err}
+	}()
+
+	<-entered
+	shutDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutDone <- srv.Shutdown(ctx)
+	}()
+	// Shutdown must be blocked on the in-flight request, not killing it.
+	select {
+	case err := <-shutDone:
+		t.Fatalf("Shutdown returned (%v) while a request was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-shutDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	r := <-got
+	if r.err != nil || r.body != "drained" {
+		t.Fatalf("in-flight request dropped: body=%q err=%v", r.body, r.err)
+	}
+	// Idempotent: a second shutdown returns the same (nil) outcome.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestShutdownDeadline pins the escape hatch: when the drain deadline
+// expires with a request still in flight, Shutdown hard-closes and
+// returns the deadline error instead of hanging.
+func TestShutdownDeadline(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	entered := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stuck", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	})
+	srv, err := ServeHandler("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go http.Get("http://" + srv.Addr() + "/stuck")
+	<-entered
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err == nil {
+		t.Fatal("Shutdown should report the expired drain deadline")
+	}
+}
+
+// TestServeErrSurfaced pins that a failed accept loop is observable: after
+// the listener is yanked out from under the server, Err reports the
+// failure instead of discarding it.
+func TestServeErrSurfaced(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Err(); err != nil {
+		t.Fatalf("healthy server reports error: %v", err)
+	}
+	srv.ln.Close() // simulate the accept loop dying
+	deadline := time.After(2 * time.Second)
+	for srv.Err() == nil {
+		select {
+		case <-deadline:
+			t.Fatal("accept-loop failure never surfaced via Err")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	// Err stays sticky through Shutdown.
+	if err := srv.Close(); err == nil {
+		t.Fatal("Close should surface the serve error")
 	}
 }

@@ -1,0 +1,200 @@
+// http.go is the JSON wire layer of the allocation service: POST
+// /allocate takes a stream-graph spec (plus an optional cluster spec) and
+// returns the placement, POST /reload hot-swaps the model, GET /healthz
+// reports liveness, and /metrics + /debug/vars expose the obs registry —
+// all on one mux served by obs.ServeHandler.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+// NodeSpec is one operator in the wire format.
+type NodeSpec struct {
+	IPT         float64 `json:"ipt"`
+	Payload     float64 `json:"payload"`
+	Selectivity float64 `json:"selectivity,omitempty"` // default 1
+	State       float64 `json:"state,omitempty"`
+	Name        string  `json:"name,omitempty"`
+}
+
+// EdgeSpec is one directed connection in the wire format.
+type EdgeSpec struct {
+	Src     int     `json:"src"`
+	Dst     int     `json:"dst"`
+	Payload float64 `json:"payload,omitempty"` // default: source node payload
+}
+
+// GraphSpec is the wire form of a stream graph.
+type GraphSpec struct {
+	SourceRate float64    `json:"source_rate"`
+	Nodes      []NodeSpec `json:"nodes"`
+	Edges      []EdgeSpec `json:"edges"`
+}
+
+// ClusterSpec is the wire form of a cluster description. Omitted fields
+// fall back to the service's default cluster.
+type ClusterSpec struct {
+	Devices       int       `json:"devices"`
+	MIPS          float64   `json:"mips,omitempty"`           // default 1.25e3 (paper)
+	BandwidthMbps float64   `json:"bandwidth_mbps,omitempty"` // default from service
+	Links         string    `json:"links,omitempty"`          // "nic" (default) or "pair"
+	OverheadPerOp float64   `json:"overhead_per_op,omitempty"`
+	DeviceMIPS    []float64 `json:"device_mips,omitempty"`
+}
+
+// AllocateRequest is the POST /allocate body.
+type AllocateRequest struct {
+	Graph   GraphSpec    `json:"graph"`
+	Cluster *ClusterSpec `json:"cluster,omitempty"`
+}
+
+// AllocateResponse is the POST /allocate reply.
+type AllocateResponse struct {
+	Assign             []int   `json:"assign"`
+	Devices            int     `json:"devices"`
+	NumSuper           int     `json:"num_super"`
+	RelativeThroughput float64 `json:"relative_throughput"`
+	Cached             bool    `json:"cached"`
+	ModelVersion       uint64  `json:"model_version"`
+	BatchSize          int     `json:"batch_size"`
+}
+
+// BuildGraph converts the spec into a validated stream graph with at
+// least one edge (a single-operator "graph" has nothing to coarsen).
+func (gs *GraphSpec) BuildGraph() (*stream.Graph, error) {
+	if len(gs.Nodes) == 0 {
+		return nil, fmt.Errorf("graph has no nodes")
+	}
+	if len(gs.Edges) == 0 {
+		return nil, fmt.Errorf("graph has no edges")
+	}
+	g := stream.NewGraph(gs.SourceRate)
+	for _, n := range gs.Nodes {
+		g.AddNode(stream.Node{IPT: n.IPT, Payload: n.Payload, Selectivity: n.Selectivity, State: n.State, Name: n.Name})
+	}
+	for i, e := range gs.Edges {
+		if e.Src < 0 || e.Src >= len(gs.Nodes) || e.Dst < 0 || e.Dst >= len(gs.Nodes) {
+			return nil, fmt.Errorf("edge %d endpoints (%d,%d) out of range", i, e.Src, e.Dst)
+		}
+		g.AddEdge(e.Src, e.Dst, e.Payload)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// BuildCluster resolves the spec against a default cluster.
+func (cs *ClusterSpec) BuildCluster(def sim.Cluster) (sim.Cluster, error) {
+	if cs == nil {
+		return def, nil
+	}
+	c := def
+	if cs.Devices != 0 {
+		c.Devices = cs.Devices
+		c.DeviceMIPS = nil
+	}
+	if cs.MIPS != 0 {
+		c.MIPS = cs.MIPS
+	}
+	if cs.BandwidthMbps != 0 {
+		c.Bandwidth = cs.BandwidthMbps * 1e6
+	}
+	switch cs.Links {
+	case "":
+	case "nic":
+		c.Links = sim.NIC
+	case "pair":
+		c.Links = sim.PairLink
+	default:
+		return c, fmt.Errorf("unknown links model %q (want \"nic\" or \"pair\")", cs.Links)
+	}
+	if cs.OverheadPerOp != 0 {
+		c.OverheadPerOp = cs.OverheadPerOp
+	}
+	if cs.DeviceMIPS != nil {
+		if len(cs.DeviceMIPS) != c.Devices {
+			return c, fmt.Errorf("%d device_mips values for %d devices", len(cs.DeviceMIPS), c.Devices)
+		}
+		c.DeviceMIPS = cs.DeviceMIPS
+	}
+	if c.Devices <= 0 {
+		return c, fmt.Errorf("cluster has %d devices", c.Devices)
+	}
+	if c.Bandwidth <= 0 {
+		return c, fmt.Errorf("cluster has non-positive bandwidth")
+	}
+	return c, nil
+}
+
+// Handler mounts the allocation API plus the observability endpoints:
+// POST /allocate, POST /reload, GET /healthz, GET /metrics, GET
+// /debug/vars. reloadPath is the checkpoint /reload re-reads ("" means
+// re-snapshot the live parameters). reg should be the registry the
+// service reports into.
+func Handler(s *Service, defCluster sim.Cluster, reloadPath string, reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	obsH := obs.Handler(reg)
+	mux.Handle("/metrics", obsH)
+	mux.Handle("/debug/vars", obsH)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "ok model_version=%d\n", s.Version())
+	})
+	mux.HandleFunc("/allocate", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req AllocateRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		g, err := req.Graph.BuildGraph()
+		if err != nil {
+			http.Error(w, "bad graph: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		c, err := req.Cluster.BuildCluster(defCluster)
+		if err != nil {
+			http.Error(w, "bad cluster: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := s.Allocate(g, c)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(AllocateResponse{
+			Assign:             res.Assign,
+			Devices:            res.Devices,
+			NumSuper:           res.NumSuper,
+			RelativeThroughput: res.Relative,
+			Cached:             res.Cached,
+			ModelVersion:       res.ModelVersion,
+			BatchSize:          res.BatchSize,
+		})
+	})
+	mux.HandleFunc("/reload", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if err := s.Reload(reloadPath); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, "reloaded model_version=%d\n", s.Version())
+	})
+	return mux
+}

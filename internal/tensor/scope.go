@@ -1,0 +1,78 @@
+// scope.go provides a Scope: a bulk-release handle over arena borrows for
+// tape-free forward passes. The autodiff tape already tracks and recycles
+// every matrix it creates via Reset; inference code that bypasses the tape
+// needs the same discipline without the tape, so a Scope records each Get
+// and returns everything in one Release. A released Scope is reusable (and
+// poolable): the borrow list keeps its capacity, so a steady-state forward
+// pass borrows every buffer from the arena and allocates nothing.
+package tensor
+
+// Scope tracks matrices borrowed from the arena so they can be released
+// together. Not safe for concurrent use; drive one Scope per goroutine.
+type Scope struct {
+	borrowed []*Matrix
+}
+
+// NewScope returns an empty scope.
+func NewScope() *Scope { return &Scope{} }
+
+// Get borrows a rows×cols matrix from the arena; contents are UNSPECIFIED
+// (as with tensor.Get) and the matrix is valid until Release.
+func (s *Scope) Get(rows, cols int) *Matrix {
+	m := Get(rows, cols)
+	s.borrowed = append(s.borrowed, m)
+	return m
+}
+
+// GetZeroed borrows a zeroed rows×cols matrix, valid until Release.
+func (s *Scope) GetZeroed(rows, cols int) *Matrix {
+	m := GetZeroed(rows, cols)
+	s.borrowed = append(s.borrowed, m)
+	return m
+}
+
+// Release returns every borrowed matrix to the arena. The scope itself
+// remains usable; matrices obtained from it must not be used afterwards.
+func (s *Scope) Release() {
+	for i, m := range s.borrowed {
+		Put(m)
+		s.borrowed[i] = nil
+	}
+	s.borrowed = s.borrowed[:0]
+}
+
+// TransposeInto writes aᵀ into dst (a.Cols×a.Rows) and returns dst. The
+// element order matches the tape's Transpose op exactly.
+func TransposeInto(a, dst *Matrix) *Matrix {
+	mustShape("transpose dst", dst, a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			dst.Data[j*a.Rows+i] = a.Data[i*a.Cols+j]
+		}
+	}
+	return dst
+}
+
+// ConcatColsInto writes the horizontal concatenation of parts into dst
+// (rows × Σcols) and returns dst, copying row-by-row in the same order as
+// the tape's ConcatCols op.
+func ConcatColsInto(dst *Matrix, parts ...*Matrix) *Matrix {
+	rows := parts[0].Rows
+	cols := 0
+	for _, p := range parts {
+		if p.Rows != rows {
+			panic("tensor: concat-cols row mismatch")
+		}
+		cols += p.Cols
+	}
+	mustShape("concat-cols dst", dst, rows, cols)
+	for i := 0; i < rows; i++ {
+		orow := dst.Row(i)
+		off := 0
+		for _, p := range parts {
+			copy(orow[off:off+p.Cols], p.Row(i))
+			off += p.Cols
+		}
+	}
+	return dst
+}
