@@ -9,7 +9,13 @@ BENCH_FILTER ?= 'BenchmarkGNNEncode|BenchmarkMatMul$$|BenchmarkMetisPartition|Be
 BENCH_BASELINE ?= BENCH_BASELINE.json
 BENCH_THRESHOLD ?= 10
 
-.PHONY: build test check race vet fmt bench bench-smoke bench-gate bench-baseline bench-kernels benchdiff curve chaos serve-smoke serve-bench
+# Fixed heap target for measured benchmark runs. The huge (~100k-node)
+# encode benchmark recycles hundreds of MB through the tensor arena, and
+# without a pinned GOMEMLIMIT its B/op numbers swing with whatever heap
+# size the previous tests left behind.
+BENCH_MEMLIMIT ?= 2GiB
+
+.PHONY: build test check race vet fmt bench bench-smoke bench-gate bench-baseline bench-huge bench-kernels benchdiff curve chaos serve-smoke serve-bench
 
 build:
 	$(GO) build ./...
@@ -64,20 +70,28 @@ serve-bench:
 
 # Full pre-merge check: formatting + vet + race-detected tests + chaos
 # suites + benchmark smoke run + observability smoke + serving smoke +
-# regression gate against the committed baseline.
-check: fmt vet race chaos bench-smoke curve serve-smoke bench-gate
+# huge-graph scaling gate + regression gate against the committed baseline.
+check: fmt vet race chaos bench-smoke curve serve-smoke bench-huge bench-gate
 
 # Regression gate: measure the stable micro set (min of -count=3) and fail
-# when any benchmark regressed more than BENCH_THRESHOLD percent in ns/op
-# or allocs/op relative to the committed baseline.
+# when any benchmark regressed more than BENCH_THRESHOLD percent in ns/op,
+# B/op or allocs/op relative to the committed baseline.
 bench-gate:
-	$(GO) test -run=NONE -bench=$(BENCH_FILTER) -benchmem -count=3 . > .bench_gate.txt
+	GOMEMLIMIT=$(BENCH_MEMLIMIT) $(GO) test -run=NONE -bench=$(BENCH_FILTER) -benchmem -count=3 . > .bench_gate.txt
 	$(GO) run ./cmd/benchjson .bench_gate.txt > .bench_gate.json
 	$(GO) run ./cmd/benchjson -diff -threshold $(BENCH_THRESHOLD) $(BENCH_BASELINE) .bench_gate.json
 
+# Scaling gate: the ~100k-node layered-graph encode alone, under the pinned
+# GOMEMLIMIT, diffed against the committed baseline. Fast to iterate on
+# when only large-graph behaviour changed (bench-gate measures it too).
+bench-huge:
+	GOMEMLIMIT=$(BENCH_MEMLIMIT) $(GO) test -run=NONE -bench='BenchmarkGNNEncode/huge' -benchmem -count=3 . > .bench_huge.txt
+	$(GO) run ./cmd/benchjson .bench_huge.txt > .bench_huge.json
+	$(GO) run ./cmd/benchjson -diff -threshold $(BENCH_THRESHOLD) $(BENCH_BASELINE) .bench_huge.json
+
 # Refresh the committed gate baseline (run on a quiet machine, then commit).
 bench-baseline:
-	$(GO) test -run=NONE -bench=$(BENCH_FILTER) -benchmem -count=3 . > .bench_gate.txt
+	GOMEMLIMIT=$(BENCH_MEMLIMIT) $(GO) test -run=NONE -bench=$(BENCH_FILTER) -benchmem -count=3 . > .bench_gate.txt
 	$(GO) run ./cmd/benchjson .bench_gate.txt > $(BENCH_BASELINE)
 
 # Compute-kernel microbenchmarks with GFLOP/s: the blocked MatMul variants

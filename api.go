@@ -75,6 +75,8 @@ type (
 	Pipeline = core.Pipeline
 	// Allocation is one end-to-end allocation result.
 	Allocation = core.Allocation
+	// MultilevelConfig controls recursive multilevel allocation.
+	MultilevelConfig = core.MultilevelConfig
 	// Decision is a per-edge collapse decision vector.
 	Decision = core.Decision
 	// Placer is the partitioning-model interface.
@@ -118,6 +120,10 @@ func Simulate(g *Graph, p *Placement, c Cluster) (SimResult, error) { return sim
 // Reward returns the relative throughput r = T/I of a placement.
 func Reward(g *Graph, p *Placement, c Cluster) float64 { return sim.Reward(g, p, c) }
 
+// DefaultMultilevelConfig returns the default recursion bounds for
+// Pipeline.AllocateMultilevel.
+func DefaultMultilevelConfig() MultilevelConfig { return core.DefaultMultilevelConfig() }
+
 // DefaultModelConfig returns the CPU-scale model configuration.
 func DefaultModelConfig() ModelConfig { return core.DefaultConfig() }
 
@@ -158,6 +164,8 @@ func Medium5KSetting() Setting { return gen.Medium5K() }
 func MediumSetting() Setting   { return gen.Medium() }
 func LargeSetting() Setting    { return gen.Large() }
 func XLargeSetting() Setting   { return gen.XLarge() }
+func HugeSetting() Setting     { return gen.Huge() }
+func ExtremeSetting() Setting  { return gen.Extreme() }
 func ExcessSetting() Setting   { return gen.Excess() }
 
 // AllSettings lists every preset in evaluation order.

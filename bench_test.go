@@ -283,20 +283,32 @@ func BenchmarkKernels(b *testing.B) {
 
 func BenchmarkGNNEncode(b *testing.B) {
 	c := sim.DefaultCluster(10, 1000)
+	hugeCfg := gen.Huge().Config
+	hugeCfg.MinNodes, hugeCfg.MaxNodes = 100_000, 100_000
 	for _, size := range []struct {
-		name     string
-		min, max int
-	}{{"medium", 100, 200}, {"large", 400, 500}} {
-		cfg := gen.DefaultConfig(size.min, size.max, 10_000, c)
-		g := gen.Generate(cfg, rand.New(rand.NewSource(2)))
-		f := gnn.BuildFeatures(g, c)
+		name string
+		cfg  gen.Config
+	}{
+		{"medium", gen.DefaultConfig(100, 200, 10_000, c)},
+		{"large", gen.DefaultConfig(400, 500, 10_000, c)},
+		// huge exercises the layered ~100k-node construction; run it under a
+		// fixed GOMEMLIMIT (make bench-huge) so B/op numbers are comparable.
+		{"huge", hugeCfg},
+	} {
+		g := gen.Generate(size.cfg, rand.New(rand.NewSource(2)))
+		f := gnn.BuildFeatures(g, size.cfg.Cluster)
 		ps := nn.NewParamSet()
 		enc := gnn.NewEncoder(ps, "enc", 24, 2, rand.New(rand.NewSource(3)))
 		b.Run(size.name, func(b *testing.B) {
 			// Steady-state hot path exactly as the trainer runs it: one
 			// binder/tape reused across steps via Reset, with layer
 			// scratch and gradients recycled through the tensor arena.
+			// One untimed pass fills the arena so
+			// ns/op and B/op measure the steady state, not the one-time
+			// working-set allocation.
 			binder := nn.NewBinder(autodiff.NewTape())
+			binder.Reset()
+			enc.Encode(binder, f)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -16,8 +16,8 @@
 //
 // Regression gate: compare two previously emitted JSON reports and exit
 // non-zero when any benchmark regressed by more than the threshold
-// (percent, default 10) in ns/op or allocs/op — or, for benchmarks with
-// dims in the name, dropped more than the threshold in GFLOP/s:
+// (percent, default 10) in ns/op, B/op or allocs/op — or, for benchmarks
+// with dims in the name, dropped more than the threshold in GFLOP/s:
 //
 //	benchjson -diff BENCH_prev.json BENCH_new.json
 //	benchjson -diff -threshold 5 BENCH_prev.json BENCH_new.json
@@ -170,6 +170,7 @@ func parse(in io.Reader) (*report, error) {
 // benchPoint is the per-benchmark summary used for regression gating.
 type benchPoint struct {
 	ns     float64
+	bytes  float64
 	allocs float64
 	hasMem bool
 	gflops float64 // derived from name dims and min ns; 0 when dimless
@@ -191,8 +192,13 @@ func summarize(rep *report) map[string]benchPoint {
 			p.ns = r.NsPerOp
 		}
 		hasMem := strings.Contains(r.Raw, "allocs/op")
-		if hasMem && (!p.hasMem || r.AllocsPerOp < p.allocs) {
-			p.allocs = r.AllocsPerOp
+		if hasMem {
+			if !p.hasMem || r.AllocsPerOp < p.allocs {
+				p.allocs = r.AllocsPerOp
+			}
+			if !p.hasMem || r.BytesPerOp < p.bytes {
+				p.bytes = r.BytesPerOp
+			}
 			p.hasMem = true
 		}
 		if flops := flopsFor(name); flops > 0 && p.ns > 0 {
@@ -264,9 +270,11 @@ func runDiff(prevPath, newPath string, threshold float64) int {
 		line := fmt.Sprintf("%-60s ns/op %12.0f -> %12.0f  %+7.2f%%", name, o.ns, p.ns, dns)
 		bad := dns > threshold
 		if o.hasMem && p.hasMem {
+			dby := pctDelta(o.bytes, p.bytes)
+			line += fmt.Sprintf("   B/op %10.0f -> %10.0f  %+7.2f%%", o.bytes, p.bytes, dby)
 			dal := pctDelta(o.allocs, p.allocs)
 			line += fmt.Sprintf("   allocs/op %8.0f -> %8.0f  %+7.2f%%", o.allocs, p.allocs, dal)
-			bad = bad || dal > threshold
+			bad = bad || dby > threshold || dal > threshold
 		}
 		if o.gflops > 0 && p.gflops > 0 {
 			// A GFLOP/s drop is a throughput regression: gate on -threshold.

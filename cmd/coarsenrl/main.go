@@ -79,6 +79,7 @@ func main() {
 		curveOut    = flag.String("curve-out", "", "append one JSONL training-curve record per optimizer step to this file")
 		driftTicks  = flag.Int("drift-ticks", 16, "drift mode: timeline length in ticks")
 		driftLambda = flag.Float64("drift-lambda", 0.3, "drift mode: move-cost weight λ in the migration utility (0 = migration is free)")
+		multilevel  = flag.Bool("multilevel", false, "evaluate with the recursive multilevel driver (coarsen level by level, refine on the way back up) instead of one-shot coarsening")
 	)
 	flag.Parse()
 
@@ -218,7 +219,7 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "saved curriculum model to %s\n", *savePath)
 		}
-		evaluate(model, pipe, ds)
+		evaluate(model, pipe, ds, *multilevel)
 	case "train", "finetune":
 		cfg := rl.DefaultConfig()
 		cfg.Epochs = *epochs
@@ -240,9 +241,9 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "saved model to %s\n", *savePath)
 		}
-		evaluate(model, pipe, ds)
+		evaluate(model, pipe, ds, *multilevel)
 	case "eval":
-		evaluate(model, pipe, ds)
+		evaluate(model, pipe, ds, *multilevel)
 	case "drift":
 		// Replay a seeded drift timeline against the first test graph: the
 		// model's merge scores rank region re-collapses in the online
@@ -267,8 +268,19 @@ func exitInterrupted(err error) {
 	os.Exit(1)
 }
 
-func evaluate(model *core.Model, pipe *core.Pipeline, ds *gen.Dataset) {
-	ours := rl.Evaluate(pipe, ds.Test, ds.Cluster)
+func evaluate(model *core.Model, pipe *core.Pipeline, ds *gen.Dataset, multilevel bool) {
+	ourName := "Coarsen+Metis"
+	var ours []float64
+	if multilevel {
+		ourName = "Multilevel+Metis"
+		mcfg := core.DefaultMultilevelConfig()
+		for _, g := range ds.Test {
+			a := pipe.AllocateMultilevel(g, ds.Cluster, mcfg)
+			ours = append(ours, sim.Reward(g, a.Placement, ds.Cluster))
+		}
+	} else {
+		ours = rl.Evaluate(pipe, ds.Test, ds.Cluster)
+	}
 	var metisVals, ourVals []float64
 	for i, g := range ds.Test {
 		mp := metis.Partition(g, metis.Options{Parts: ds.Cluster.Devices, Seed: 1})
@@ -282,7 +294,7 @@ func evaluate(model *core.Model, pipe *core.Pipeline, ds *gen.Dataset) {
 		MaxX:  rate,
 		Rows: []eval.Series{
 			{Name: "Metis", Values: metisVals},
-			{Name: "Coarsen+Metis", Values: ourVals},
+			{Name: ourName, Values: ourVals},
 		},
 	}
 	fmt.Print(rep.String())

@@ -373,23 +373,30 @@ func Reward(g *stream.Graph, a Allocation, c sim.Cluster) float64 {
 // target super-nodes remain (cycle-closing edges along the ranking are
 // skipped) and returns the resulting decision vector.
 func (mo *Model) CoarsenTo(g *stream.Graph, c sim.Cluster, target int) Decision {
-	probs := mo.Probs(g, c)
+	return CoarsenToRanked(g, target, mo.Probs(g, c))
+}
+
+// CoarsenToRanked collapses edges by descending score (index ascending on
+// ties, so equal scores coarsen deterministically) until at most target
+// super-nodes remain; edges whose endpoints already share a super-node are
+// skipped. It is the ranking half of CoarsenTo with the model factored
+// out, which lets the multilevel driver reuse one forward pass's scores.
+func CoarsenToRanked(g *stream.Graph, target int, score []float64) Decision {
 	type pe struct {
 		ei int
 		p  float64
 	}
-	order := make([]pe, len(probs))
-	for i, p := range probs {
+	order := make([]pe, len(score))
+	for i, p := range score {
 		order[i] = pe{i, p}
 	}
-	// Sort by probability descending, index ascending for determinism.
 	sort.Slice(order, func(a, b int) bool {
 		if order[a].p != order[b].p {
 			return order[a].p > order[b].p
 		}
 		return order[a].ei < order[b].ei
 	})
-	d := make(Decision, len(probs))
+	d := make(Decision, len(score))
 	// Collapse greedily while tracking component count via union-find.
 	parent := make([]int, g.NumNodes())
 	for i := range parent {

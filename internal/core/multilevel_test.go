@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/placer"
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+func TestCoarsenToRankedMatchesCoarsenTo(t *testing.T) {
+	g, c, m := testSetup(t)
+	want := m.CoarsenTo(g, c, 10)
+	got := CoarsenToRanked(g, 10, m.Probs(g, c))
+	if len(got) != len(want) {
+		t.Fatal("decision length mismatch")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("decision[%d]: ranked %v vs model %v", i, got[i], want[i])
+		}
+	}
+}
+
+// refineChain builds a 6-node chain with a deliberately unbalanced
+// placement: all the work on device 0, device 1 idle.
+func refineChain() (*stream.Graph, sim.Cluster, *stream.Placement) {
+	c := sim.DefaultCluster(2, 1e6)
+	g := stream.NewGraph(1000)
+	for i := 0; i < 6; i++ {
+		g.AddNode(stream.Node{IPT: 1000, Payload: 100, Selectivity: 1})
+	}
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, i+1, 100)
+	}
+	p := stream.NewPlacement(6, 2)
+	p.Assign[5] = 1 // one node across: five cut-free, one cut edge
+	return g, c, p
+}
+
+func TestRefineBoundaryNeverWorsens(t *testing.T) {
+	g, c, p := refineChain()
+	before, err := sim.Simulate(g, p, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := make([]float64, g.NumEdges())
+	for i := range score {
+		score[i] = float64(i) / 10
+	}
+	refineBoundary(g, c, p, score, 4)
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	after, err := sim.Simulate(g, p, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Relative < before.Relative {
+		t.Fatalf("refinement worsened throughput: %v -> %v", before.Relative, after.Relative)
+	}
+}
+
+func TestRefineBoundaryDeterministic(t *testing.T) {
+	run := func() []int {
+		g, c, p := refineChain()
+		score := []float64{0.9, 0.1, 0.5, 0.5, 0.7}
+		refineBoundary(g, c, p, score, 3)
+		return p.Assign
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("refinement nondeterministic at node %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAllocateMultilevelLeafMatchesAllocate(t *testing.T) {
+	g, c, m := testSetup(t) // well under the default leaf size
+	pipe := &Pipeline{Model: m, Placer: placer.Metis{Seed: 1}}
+	flat := pipe.Allocate(g, c)
+	ml := pipe.AllocateMultilevel(g, c, DefaultMultilevelConfig())
+	for v := range flat.Placement.Assign {
+		if ml.Placement.Assign[v] != flat.Placement.Assign[v] {
+			t.Fatalf("leaf-size multilevel diverged from flat pipeline at node %d", v)
+		}
+	}
+}
+
+func TestAllocateMultilevelRecursesAndStaysValid(t *testing.T) {
+	c := sim.DefaultCluster(8, 10_000)
+	cfg := gen.DefaultConfig(300, 340, 10_000, c)
+	g := gen.Generate(cfg, rand.New(rand.NewSource(11)))
+	m := New(Config{Hidden: 8, EdgeDim: 4, MergeDim: 8, Hops: 2, Seed: 1,
+		UseEdgeEncoding: true, UseEdgeCollapse: true})
+	pipe := &Pipeline{Model: m, Placer: placer.Metis{Seed: 1}}
+
+	mcfg := MultilevelConfig{LeafSize: 60, CoarsenFactor: 4, RefinePasses: 2}
+	a := pipe.AllocateMultilevel(g, c, mcfg)
+	if err := a.Placement.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if a.Coarse == nil || a.Coarse.NumSuper >= g.NumNodes() {
+		t.Fatalf("multilevel did not coarsen: %+v", a.Coarse)
+	}
+	r := sim.Reward(g, a.Placement, c)
+	if math.IsNaN(r) || r <= 0 {
+		t.Fatalf("multilevel reward %v", r)
+	}
+
+	b := pipe.AllocateMultilevel(g, c, mcfg)
+	for v := range a.Placement.Assign {
+		if a.Placement.Assign[v] != b.Placement.Assign[v] {
+			t.Fatalf("multilevel nondeterministic at node %d", v)
+		}
+	}
+}
+
+func TestAllocateMultilevelHandlesEdgelessGraph(t *testing.T) {
+	c := sim.DefaultCluster(2, 1000)
+	g := stream.NewGraph(1000)
+	for i := 0; i < 5; i++ {
+		g.AddNode(stream.Node{IPT: 10, Payload: 10, Selectivity: 1})
+	}
+	m := New(Config{Hidden: 4, EdgeDim: 4, MergeDim: 8, Hops: 1, Seed: 1,
+		UseEdgeEncoding: true, UseEdgeCollapse: true})
+	pipe := &Pipeline{Model: m, Placer: placer.Metis{Seed: 1}}
+	a := pipe.AllocateMultilevel(g, c, MultilevelConfig{LeafSize: 2, CoarsenFactor: 2, RefinePasses: 1})
+	if err := a.Placement.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -50,6 +50,14 @@ type Config struct {
 
 	// Cluster calibrates the normalization above.
 	Cluster sim.Cluster
+
+	// Layered switches to the O(E) streaming construction (layered.go):
+	// nodes emitted in topological order, in-edges drawn from a sliding
+	// window of LayerWindow recent predecessors. The recursive substitution
+	// construction rewires an edge map per step and does not scale past a
+	// few thousand nodes; the huge/extreme presets set Layered.
+	Layered     bool
+	LayerWindow int
 }
 
 // DefaultConfig returns the paper's substitution parameters for the given
@@ -119,6 +127,9 @@ func removeInt(s []int, x int) []int {
 
 // Generate produces one graph. Deterministic given rng state.
 func Generate(cfg Config, rng *rand.Rand) *stream.Graph {
+	if cfg.Layered {
+		return generateLayered(cfg, rng)
+	}
 	if cfg.MinNodes < 2 || cfg.MaxNodes < cfg.MinNodes {
 		panic(fmt.Sprintf("gen: bad node range [%d,%d]", cfg.MinNodes, cfg.MaxNodes))
 	}
@@ -488,8 +499,26 @@ func sortEdges(eds []edgePair) {
 func GenerateSet(cfg Config, n int, seed int64) []*stream.Graph {
 	out := make([]*stream.Graph, n)
 	parallel.ForEach(n, 0, func(i int) {
-		rng := rand.New(rand.NewSource(seed + int64(i)*1_000_003))
+		rng := rand.New(rand.NewSource(graphSeed(seed, i)))
 		out[i] = Generate(cfg, rng)
 	})
 	return out
 }
+
+// GenerateEach produces the same n graphs as GenerateSet — identical
+// per-graph derived seeds — but sequentially, handing each graph to fn as
+// it is built and retaining none of them. This is the streaming export
+// path: peak memory is one graph (O(E)), not the whole dataset, which is
+// what makes the extreme (~1M node) setting exportable at all.
+func GenerateEach(cfg Config, n int, seed int64, fn func(i int, g *stream.Graph) error) error {
+	for i := 0; i < n; i++ {
+		rng := rand.New(rand.NewSource(graphSeed(seed, i)))
+		if err := fn(i, Generate(cfg, rng)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// graphSeed derives the i-th graph's RNG seed within a set.
+func graphSeed(seed int64, i int) int64 { return seed + int64(i)*1_000_003 }

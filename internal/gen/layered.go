@@ -1,0 +1,167 @@
+// layered.go is the O(E) streaming construction used for the huge and
+// extreme size levels. The recursive substitution generator (gen.go)
+// mutates an edge map through thousands of splice operations — fine at
+// paper scale (≤2k nodes), hopeless at a million. The layered construction
+// instead emits nodes in topological order: every node i>0 draws 1–4
+// in-edges from a sliding window of recent predecessors, which makes the
+// graph connected and acyclic by construction with no edge set, no
+// rewiring, and no intermediate topology — just the final node and edge
+// arrays, O(N+E) memory total. Feature assignment reuses the same
+// demand/traffic normalization scheme as the recursive path (§V), driven
+// by the graph's own adjacency instead of the topoGraph.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/stream"
+)
+
+// generateLayered emits a connected DAG of cfg.MinNodes..MaxNodes nodes in
+// one topological sweep. Deterministic given rng state.
+func generateLayered(cfg Config, rng *rand.Rand) *stream.Graph {
+	if cfg.MinNodes < 2 || cfg.MaxNodes < cfg.MinNodes {
+		panic(fmt.Sprintf("gen: bad node range [%d,%d]", cfg.MinNodes, cfg.MaxNodes))
+	}
+	target := cfg.MinNodes + rng.Intn(cfg.MaxNodes-cfg.MinNodes+1)
+	window := cfg.LayerWindow
+	if window <= 0 {
+		window = 64
+	}
+
+	g := stream.NewGraph(cfg.SourceRate)
+	g.AddNode(stream.Node{IPT: 1, Payload: 1, Selectivity: 0.8 + 0.4*rng.Float64()})
+	var preds [4]int
+	for i := 1; i < target; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		span := i - lo
+		// 1 guaranteed in-edge keeps the graph weakly connected (the
+		// predecessor is itself wired back to node 0 inductively); a
+		// geometric tail adds fan-in without blowing up average degree.
+		indeg := 1
+		for indeg < len(preds) && indeg < span && rng.Float64() < 0.35 {
+			indeg++
+		}
+		// Draw distinct predecessors from the window (indeg ≤ 4, so the
+		// dedup loop is constant work).
+		got := 0
+		for got < indeg {
+			u := lo + rng.Intn(span)
+			dup := false
+			for j := 0; j < got; j++ {
+				if preds[j] == u {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				preds[got] = u
+				got++
+			}
+		}
+		sel := 0.8 + 0.4*rng.Float64()
+		if indeg > 1 {
+			sel /= float64(indeg)
+		}
+		g.AddNode(stream.Node{IPT: 1, Payload: 1, Selectivity: sel})
+		// Ascending predecessor order keeps edge emission deterministic.
+		for a := 0; a < got; a++ {
+			for b := a + 1; b < got; b++ {
+				if preds[b] < preds[a] {
+					preds[a], preds[b] = preds[b], preds[a]
+				}
+			}
+		}
+		for a := 0; a < got; a++ {
+			g.AddEdge(preds[a], i, 1)
+		}
+	}
+	assignFeaturesGraph(g, cfg, rng)
+	return g
+}
+
+// assignFeaturesGraph is assignFeatures for an already-materialized graph:
+// the same i.i.d. demand/traffic draws, rate inversion, load and traffic
+// rescaling, and state assignment as the recursive path, reading structure
+// from the graph's CSR adjacency instead of a topoGraph.
+func assignFeaturesGraph(g *stream.Graph, cfg Config, rng *rand.Rand) {
+	n := g.NumNodes()
+	rates := g.SteadyRates()
+	adj := g.Adjacency()
+	inRate := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if adj.InDegree(v) == 0 {
+			inRate[v] = cfg.SourceRate
+			continue
+		}
+		for _, ei := range adj.In(v) {
+			inRate[v] += rates[g.Edges[ei].Src]
+		}
+	}
+	for v := 0; v < n; v++ {
+		g.Nodes[v].IPT = (0.5 + rng.Float64()) / inRate[v]
+	}
+	for ei := range g.Edges {
+		g.Edges[ei].Payload = (0.5 + rng.Float64()) / rates[g.Edges[ei].Src]
+	}
+	// Node payload feature: mean of outgoing edge payloads.
+	for v := 0; v < n; v++ {
+		out := adj.Out(v)
+		if len(out) == 0 {
+			g.Nodes[v].Payload = 0
+			continue
+		}
+		sum := 0.0
+		for _, ei := range out {
+			sum += g.Edges[ei].Payload
+		}
+		g.Nodes[v].Payload = sum / float64(len(out))
+	}
+
+	// Rescale CPU: total load → frac × cluster instruction capacity.
+	frac := cfg.LoadFrac[0] + rng.Float64()*(cfg.LoadFrac[1]-cfg.LoadFrac[0])
+	targetLoad := frac * float64(cfg.Cluster.Devices) * cfg.Cluster.InstructionCapacity()
+	if cur := g.TotalLoad(); cur > 0 {
+		s := targetLoad / cur
+		for i := range g.Nodes {
+			g.Nodes[i].IPT *= s
+		}
+	}
+	// Rescale payloads: total traffic → fraction of aggregate bandwidth.
+	frac = cfg.TrafficFrac[0] + rng.Float64()*(cfg.TrafficFrac[1]-cfg.TrafficFrac[0])
+	var total float64
+	for _, x := range g.EdgeTraffic() {
+		total += x
+	}
+	if total > 0 {
+		s := frac * float64(cfg.Cluster.Devices) * cfg.Cluster.Bandwidth / total
+		for i := range g.Edges {
+			g.Edges[i].Payload *= s
+		}
+		for i := range g.Nodes {
+			g.Nodes[i].Payload *= s
+		}
+	}
+	// Operator state (migration cost only): fan-in operators always hold a
+	// window of arriving data, others are stateful with probability ~0.25.
+	rates = g.SteadyRates()
+	for v := 0; v < n; v++ {
+		inBits := 0.0
+		for _, ei := range adj.In(v) {
+			e := g.Edges[ei]
+			inBits += rates[e.Src] * e.Payload
+		}
+		stateful := adj.InDegree(v) > 1
+		draw := rng.Float64()
+		if !stateful && adj.InDegree(v) > 0 {
+			stateful = draw < 0.25
+		}
+		if stateful {
+			g.Nodes[v].State = inBits * (0.2 + 1.8*rng.Float64())
+		}
+	}
+}

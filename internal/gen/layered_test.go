@@ -1,0 +1,148 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func layeredConfig(minN, maxN int) Config {
+	cfg := testConfig(minN, maxN)
+	cfg.Layered = true
+	cfg.LayerWindow = 16
+	return cfg
+}
+
+func TestLayeredWithinRangeAndValid(t *testing.T) {
+	cfg := layeredConfig(200, 300)
+	for seed := int64(0); seed < 5; seed++ {
+		g := Generate(cfg, rand.New(rand.NewSource(seed)))
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if n := g.NumNodes(); n < cfg.MinNodes || n > cfg.MaxNodes {
+			t.Fatalf("seed %d: %d nodes outside [%d,%d]", seed, n, cfg.MinNodes, cfg.MaxNodes)
+		}
+		if _, err := g.TopoOrder(); err != nil {
+			t.Fatalf("seed %d: not a DAG: %v", seed, err)
+		}
+	}
+}
+
+func TestLayeredDeterministic(t *testing.T) {
+	cfg := layeredConfig(150, 250)
+	g1 := Generate(cfg, rand.New(rand.NewSource(9)))
+	g2 := Generate(cfg, rand.New(rand.NewSource(9)))
+	if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("same seed produced different topology")
+	}
+	for i := range g1.Nodes {
+		if g1.Nodes[i] != g2.Nodes[i] {
+			t.Fatalf("same seed produced different node %d", i)
+		}
+	}
+	for i := range g1.Edges {
+		if g1.Edges[i] != g2.Edges[i] {
+			t.Fatalf("same seed produced different edge %d", i)
+		}
+	}
+}
+
+func TestLayeredRespectsWindow(t *testing.T) {
+	cfg := layeredConfig(500, 500)
+	g := Generate(cfg, rand.New(rand.NewSource(3)))
+	for _, e := range g.Edges {
+		if e.Src >= e.Dst {
+			t.Fatalf("edge %d->%d not forward", e.Src, e.Dst)
+		}
+		if e.Dst-e.Src > cfg.LayerWindow {
+			t.Fatalf("edge %d->%d outside window %d", e.Src, e.Dst, cfg.LayerWindow)
+		}
+	}
+}
+
+func TestLayeredNormalization(t *testing.T) {
+	// Load and traffic must land inside the configured target fractions,
+	// like the recursive construction.
+	cfg := layeredConfig(300, 400)
+	g := Generate(cfg, rand.New(rand.NewSource(7)))
+	capTotal := float64(cfg.Cluster.Devices) * cfg.Cluster.InstructionCapacity()
+	lf := g.TotalLoad() / capTotal
+	if lf < cfg.LoadFrac[0]-1e-9 || lf > cfg.LoadFrac[1]+1e-9 {
+		t.Fatalf("load fraction %v outside %v", lf, cfg.LoadFrac)
+	}
+	var traffic float64
+	for _, x := range g.EdgeTraffic() {
+		traffic += x
+	}
+	tf := traffic / (float64(cfg.Cluster.Devices) * cfg.Cluster.Bandwidth)
+	if tf < cfg.TrafficFrac[0]-1e-9 || tf > cfg.TrafficFrac[1]+1e-9 {
+		t.Fatalf("traffic fraction %v outside %v", tf, cfg.TrafficFrac)
+	}
+}
+
+func TestGenerateEachMatchesGenerateSet(t *testing.T) {
+	for _, cfg := range []Config{testConfig(20, 40), layeredConfig(50, 80)} {
+		want := GenerateSet(cfg, 4, 77)
+		i := 0
+		err := GenerateEach(cfg, 4, 77, func(idx int, g *stream.Graph) error {
+			w := want[idx]
+			if g.NumNodes() != w.NumNodes() || g.NumEdges() != w.NumEdges() {
+				t.Fatalf("graph %d: topology mismatch", idx)
+			}
+			for v := range g.Nodes {
+				if g.Nodes[v] != w.Nodes[v] {
+					t.Fatalf("graph %d node %d mismatch", idx, v)
+				}
+			}
+			for e := range g.Edges {
+				if g.Edges[e] != w.Edges[e] {
+					t.Fatalf("graph %d edge %d mismatch", idx, e)
+				}
+			}
+			i++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i != 4 {
+			t.Fatalf("visited %d graphs", i)
+		}
+	}
+}
+
+func TestSplitSeeds(t *testing.T) {
+	s := Small()
+	n, seed, err := s.Split("train")
+	if err != nil || n != s.TrainN || seed != s.Seed {
+		t.Fatalf("train split: %d %d %v", n, seed, err)
+	}
+	n, seed, err = s.Split("test")
+	if err != nil || n != s.TestN || seed == s.Seed {
+		t.Fatalf("test split: %d %d %v", n, seed, err)
+	}
+	if _, _, err := s.Split("nope"); err == nil {
+		t.Fatal("unknown split resolved")
+	}
+}
+
+// TestHugePresetShape checks the huge/extreme presets are layered and at
+// the advertised scale without generating them (too slow for unit tests).
+func TestHugePresetShape(t *testing.T) {
+	for _, s := range []Setting{Huge(), Extreme()} {
+		if !s.Config.Layered {
+			t.Fatalf("%s: not layered", s.Name)
+		}
+		if s.Config.MinNodes < 90_000 {
+			t.Fatalf("%s: too small (%d)", s.Name, s.Config.MinNodes)
+		}
+		if s.Cluster.Devices < 32 {
+			t.Fatalf("%s: %d devices", s.Name, s.Cluster.Devices)
+		}
+	}
+	if Extreme().Config.MinNodes < 900_000 {
+		t.Fatal("extreme preset below ~1M nodes")
+	}
+}

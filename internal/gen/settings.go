@@ -27,14 +27,30 @@ type Dataset struct {
 	Test    []*stream.Graph
 }
 
+// testSeedOffset separates the test split's seed space from the train
+// split's.
+const testSeedOffset = 1_000_000_007
+
 // Generate materializes the dataset (deterministic per Setting).
 func (s Setting) Generate() *Dataset {
 	return &Dataset{
 		Name:    s.Name,
 		Cluster: s.Cluster,
 		Train:   GenerateSet(s.Config, s.TrainN, s.Seed),
-		Test:    GenerateSet(s.Config, s.TestN, s.Seed+1_000_000_007),
+		Test:    GenerateSet(s.Config, s.TestN, s.Seed+testSeedOffset),
 	}
+}
+
+// Split returns the size and seed of one split ("train" or "test"), so
+// streaming exporters reproduce exactly the graphs Generate would batch.
+func (s Setting) Split(name string) (n int, seed int64, err error) {
+	switch name {
+	case "train":
+		return s.TrainN, s.Seed, nil
+	case "test":
+		return s.TestN, s.Seed + testSeedOffset, nil
+	}
+	return 0, 0, fmt.Errorf("gen: unknown split %q (want train or test)", name)
 }
 
 // Scale multiplies the train/test sizes (minimum 1 each); used to run
@@ -95,6 +111,27 @@ func XLarge() Setting {
 	return Setting{Name: "xlarge-10k-20dev", Cluster: c, Config: cfg, TrainN: 16, TestN: 12, Seed: 71}
 }
 
+// Huge returns ~100k-node graphs on 32 devices — beyond the recursive
+// generator's practical range, built with the layered O(E) construction.
+// Dataset sizes are 1/1: graphs this large are consumed one at a time
+// (benchmarks, streaming export), not as training corpora.
+func Huge() Setting {
+	c := sim.DefaultCluster(32, 2000)
+	cfg := DefaultConfig(95_000, 105_000, 10_000, c)
+	cfg.Layered = true
+	cfg.LayerWindow = 64
+	return Setting{Name: "huge-10k-32dev", Cluster: c, Config: cfg, TrainN: 1, TestN: 1, Seed: 101}
+}
+
+// Extreme returns ~1M-node graphs on 64 devices (layered construction).
+func Extreme() Setting {
+	c := sim.DefaultCluster(64, 4000)
+	cfg := DefaultConfig(950_000, 1_050_000, 10_000, c)
+	cfg.Layered = true
+	cfg.LayerWindow = 128
+	return Setting{Name: "extreme-10k-64dev", Cluster: c, Config: cfg, TrainN: 1, TestN: 1, Seed: 113}
+}
+
 // Excess returns the excess-device setting: large-graph topologies with
 // node CPU utilization and network bandwidth both reduced by 33% (§V), so
 // the optimal allocation uses only a subset of the 10 devices.
@@ -117,7 +154,7 @@ func Excess() Setting {
 
 // ByName resolves a setting by its Name field.
 func ByName(name string) (Setting, error) {
-	for _, s := range []Setting{Small(), Medium5K(), Medium(), Large(), XLarge(), Excess()} {
+	for _, s := range AllSettings() {
 		if s.Name == name {
 			return s, nil
 		}
@@ -127,5 +164,5 @@ func ByName(name string) (Setting, error) {
 
 // AllSettings lists every preset in evaluation order.
 func AllSettings() []Setting {
-	return []Setting{Small(), Medium5K(), Medium(), Large(), XLarge(), Excess()}
+	return []Setting{Small(), Medium5K(), Medium(), Large(), XLarge(), Huge(), Extreme(), Excess()}
 }

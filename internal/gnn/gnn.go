@@ -37,6 +37,47 @@ type Features struct {
 	Edge *tensor.Matrix // E × EdgeFeatureDim
 	Src  []int          // E: source node of each edge
 	Dst  []int          // E: destination node of each edge
+
+	// CSR incidence buckets (node v's in-edges are
+	// InEdge[InOff[v]:InOff[v+1]], ascending by edge id; OutOff/OutEdge
+	// mirror it for out-edges). BuildFeatures shares them with the graph's
+	// Adjacency view; EnsureCSR derives them from Src/Dst for features
+	// assembled directly (e.g. the serving layer's block-diagonal stack).
+	// The encode paths consume these instead of re-bucketing Src/Dst on
+	// every forward pass.
+	InOff, OutOff   []int32
+	InEdge, OutEdge []int
+}
+
+// EnsureCSR builds the incidence buckets from Src/Dst when absent. Not
+// safe for concurrent callers on the same Features; build before sharing.
+func (f *Features) EnsureCSR() {
+	if f.InOff != nil {
+		return
+	}
+	n := f.Node.Rows
+	f.InOff, f.InEdge = bucketEdges(f.Dst, n)
+	f.OutOff, f.OutEdge = bucketEdges(f.Src, n)
+}
+
+// bucketEdges counting-sorts edge positions by endpoint, preserving
+// ascending edge order inside each bucket — the same structure (and
+// therefore the same accumulation order) stream.Graph.Adjacency produces.
+func bucketEdges(key []int, n int) ([]int32, []int) {
+	offs := make([]int32, n+1)
+	for _, v := range key {
+		offs[v+1]++
+	}
+	for v := 0; v < n; v++ {
+		offs[v+1] += offs[v]
+	}
+	members := make([]int, len(key))
+	cursor := append([]int32(nil), offs[:n]...)
+	for ei, v := range key {
+		members[cursor[v]] = ei
+		cursor[v]++
+	}
+	return offs, members
 }
 
 // BuildFeatures extracts normalized node and edge features, using the
@@ -48,24 +89,27 @@ func BuildFeatures(g *stream.Graph, c sim.Cluster) *Features {
 	load := g.NodeLoad()
 	traffic := g.EdgeTraffic()
 	capI := c.InstructionCapacity()
+	adj := g.Adjacency()
 
+	// Emitted payload saturation (total egress traffic if all out-edges
+	// were cut) accumulates in a single pass over the edge list: O(N+E),
+	// where looping OutEdges(v) inside the node loop was O(N·deg). Edge ids
+	// ascend within each node's bucket either way, so the per-node partial
+	// sums are bit-identical.
 	nf := tensor.New(n, NodeFeatureDim)
+	for ei := range g.Edges {
+		nf.Data[g.Edges[ei].Src*NodeFeatureDim+1] += traffic[ei]
+	}
 	for v := 0; v < n; v++ {
 		row := nf.Row(v)
 		row[0] = load[v] / capI
-		// Emitted payload saturation: total egress traffic if all
-		// out-edges were cut.
-		var eg float64
-		for _, ei := range g.OutEdges(v) {
-			eg += traffic[ei]
-		}
-		row[1] = eg / c.Bandwidth
-		row[2] = math.Log1p(float64(len(g.InEdges(v))))
-		row[3] = math.Log1p(float64(len(g.OutEdges(v))))
-		if len(g.InEdges(v)) == 0 {
+		row[1] /= c.Bandwidth
+		row[2] = math.Log1p(float64(adj.InDegree(v)))
+		row[3] = math.Log1p(float64(adj.OutDegree(v)))
+		if adj.InDegree(v) == 0 {
 			row[4] = 1
 		}
-		if len(g.OutEdges(v)) == 0 {
+		if adj.OutDegree(v) == 0 {
 			row[5] = 1
 		}
 	}
@@ -90,7 +134,10 @@ func BuildFeatures(g *stream.Graph, c sim.Cluster) *Features {
 		src[ei] = ed.Src
 		dst[ei] = ed.Dst
 	}
-	return &Features{Node: nf, Edge: ef, Src: src, Dst: dst}
+	return &Features{
+		Node: nf, Edge: ef, Src: src, Dst: dst,
+		InOff: adj.InOff, OutOff: adj.OutOff, InEdge: adj.InEdge, OutEdge: adj.OutEdge,
+	}
 }
 
 // Encoder is the edge-aware GNN.
@@ -134,7 +181,7 @@ func (e *Encoder) OutDim() int { return 2 * e.M }
 // representations. The graph must have at least one edge.
 func (e *Encoder) Encode(b *nn.Binder, f *Features) *autodiff.Node {
 	t := b.Tape
-	n := f.Node.Rows
+	f.EnsureCSR()
 	h := e.In.ApplyTanh(b, t.Const(f.Node)) // N×2M, fused affine+tanh
 
 	w1T := t.Transpose(b.Node(e.W1)) // 2M×M
@@ -151,23 +198,25 @@ func (e *Encoder) Encode(b *nn.Binder, f *Features) *autodiff.Node {
 	}
 
 	for k := 0; k < e.K; k++ {
-		hup := t.SliceCols(h, 0, e.M)
-		hdown := t.SliceCols(h, e.M, 2*e.M)
-
 		// Upstream messages: for edge (u→v), transform u's embedding (+
 		// edge features) and mean-pool at v. Gather, product, add and
 		// activation run as one fused tape entry — the E×2M gathered
-		// neighbor matrix is never materialized.
-		msgIn := t.GatherMatMulAddTanh(h, f.Src, w1T, efUp)
-		aggIn := t.SegmentMean(msgIn, f.Dst, n)
+		// neighbor matrix is never materialized — and the mean pools
+		// through the graph's CSR in-buckets, so no per-call bucketing or
+		// count scratch is allocated.
+		msgIn := t.GatherMatMulAddTanhCSR(h, f.Src, w1T, efUp, f.OutOff, f.OutEdge)
+		aggIn := t.SegmentMeanCSR(msgIn, f.InOff, f.InEdge)
 
 		// Downstream messages: for edge (u→v), transform v's embedding and
 		// mean-pool at u.
-		msgOut := t.GatherMatMulAddTanh(h, f.Dst, w1T, efDown)
-		aggOut := t.SegmentMean(msgOut, f.Src, n)
+		msgOut := t.GatherMatMulAddTanhCSR(h, f.Dst, w1T, efDown, f.InOff, f.InEdge)
+		aggOut := t.SegmentMeanCSR(msgOut, f.OutOff, f.OutEdge)
 
-		nextUp := t.MatMulTanh(t.ConcatCols(hup, aggIn), w2T)
-		nextDown := t.MatMulTanh(t.ConcatCols(hdown, aggOut), w2T)
+		// [own half : aggregated messages] → next half. The fused op feeds
+		// each concatenated row straight to the product kernel, so the
+		// sliced halves and concatenated operands never hit the tape.
+		nextUp := t.ConcatMatMulTanh(h, 0, e.M, aggIn, w2T)
+		nextDown := t.ConcatMatMulTanh(h, e.M, 2*e.M, aggOut, w2T)
 		h = t.ConcatCols(nextUp, nextDown)
 	}
 	return h

@@ -18,6 +18,7 @@ import (
 func (e *Encoder) EncodeInfer(sc *tensor.Scope, r nn.ValueReader, f *Features) *tensor.Matrix {
 	n := f.Node.Rows
 	m := e.M
+	f.EnsureCSR()
 	h := e.In.InferTanh(sc, r, f.Node) // N×2M, fused affine+tanh
 
 	w1 := r.Value(e.W1)
@@ -33,37 +34,21 @@ func (e *Encoder) EncodeInfer(sc *tensor.Scope, r nn.ValueReader, f *Features) *
 		efDown = tensor.MatMulT2Into(f.Edge, weDown, sc.Get(f.Edge.Rows, weDown.Rows)) // E×M
 	}
 
-	gatherTanh := func(src []int, ef *tensor.Matrix) *tensor.Matrix {
-		if len(src) == 0 {
-			// Edgeless graph: 0×M result, matching the tape's special case.
-			return sc.Get(0, m)
-		}
-		return tensor.GatherMatMulAddTanhInto(h, src, w1T, ef, sc.Get(len(src), m))
-	}
-
 	for k := 0; k < e.K; k++ {
 		// Upstream messages: transform the head node of each edge (+ edge
-		// features), mean-pool at the tail; downstream mirrors it.
-		msgIn := gatherTanh(f.Src, efUp)
-		aggIn := tensor.SegmentMeanInto(msgIn, f.Dst, n, sc.Get(n, m))
-		msgOut := gatherTanh(f.Dst, efDown)
-		aggOut := tensor.SegmentMeanInto(msgOut, f.Src, n, sc.Get(n, m))
+		// features), mean-pool at the tail; downstream mirrors it. The
+		// whole hop is one fused CSR kernel — per-edge message rows live
+		// only in worker-local scratch, so the E×M message matrix never
+		// exists on the serving path (per-row arithmetic and per-bucket
+		// accumulation order match the tape path bit-for-bit).
+		aggIn := tensor.GatherMatMulAddTanhSegMeanCSRInto(h, f.Src, w1T, efUp, f.InOff, f.InEdge, sc.Get(n, m))
+		aggOut := tensor.GatherMatMulAddTanhSegMeanCSRInto(h, f.Dst, w1T, efDown, f.OutOff, f.OutEdge, sc.Get(n, m))
 
-		// [own half : aggregated messages] → next half, fused matmul+tanh.
-		// The column slices of h are concatenated straight out of h, which
-		// copies the same values the tape's SliceCols+ConcatCols pair does.
-		catUp := sc.Get(n, 2*m)
-		catDown := sc.Get(n, 2*m)
-		for i := 0; i < n; i++ {
-			hrow := h.Row(i)
-			up, down := catUp.Row(i), catDown.Row(i)
-			copy(up[:m], hrow[:m])
-			copy(up[m:], aggIn.Row(i))
-			copy(down[:m], hrow[m:])
-			copy(down[m:], aggOut.Row(i))
-		}
-		nextUp := tensor.MatMulTanhInto(catUp, w2T, sc.Get(n, m))
-		nextDown := tensor.MatMulTanhInto(catDown, w2T, sc.Get(n, m))
+		// [own half : aggregated messages] → next half: the fused kernel
+		// assembles each concatenated row in scratch, copying the same
+		// values the tape path feeds its product kernel.
+		nextUp := tensor.ConcatMatMulTanhInto(h, 0, m, aggIn, w2T, sc.Get(n, m))
+		nextDown := tensor.ConcatMatMulTanhInto(h, m, 2*m, aggOut, w2T, sc.Get(n, m))
 		h = tensor.ConcatColsInto(sc.Get(n, 2*m), nextUp, nextDown)
 	}
 	return h

@@ -122,6 +122,120 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 	return out
 }
 
+// chunkJob is one RunChunks invocation: workers and the caller pull chunk
+// indices from next and compute the chunk bounds arithmetically, so no
+// range slice is materialized.
+type chunkJob struct {
+	fn    func(lo, hi int)
+	parts int
+	base  int
+	rem   int
+	next  atomic.Int32
+	wg    sync.WaitGroup
+}
+
+// bounds returns chunk p of the job's [0, n) split — identical to
+// ChunkRanges(n, parts)[p].
+func (j *chunkJob) bounds(p int) (int, int) {
+	lo := p * j.base
+	if p < j.rem {
+		lo += p
+	} else {
+		lo += j.rem
+	}
+	hi := lo + j.base
+	if p < j.rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func (j *chunkJob) run() {
+	for {
+		p := int(j.next.Add(1)) - 1
+		if p >= j.parts {
+			return
+		}
+		lo, hi := j.bounds(p)
+		j.fn(lo, hi)
+	}
+}
+
+var (
+	chunkOnce    sync.Once
+	chunkCh      chan *chunkJob
+	chunkWorkers int
+	chunkPool    = sync.Pool{New: func() any { return new(chunkJob) }}
+)
+
+// startChunkWorkers spins up the persistent helper goroutines. They spend
+// their idle life parked on an unbuffered channel receive, so an idle pool
+// costs nothing and a RunChunks hand-off wakes exactly the workers it
+// claims.
+func startChunkWorkers() {
+	chunkWorkers = runtime.GOMAXPROCS(0) - 1
+	if chunkWorkers < 0 {
+		chunkWorkers = 0
+	}
+	chunkCh = make(chan *chunkJob)
+	for w := 0; w < chunkWorkers; w++ {
+		go func() {
+			for j := range chunkCh {
+				j.run()
+				j.wg.Done()
+			}
+		}()
+	}
+}
+
+// RunChunks invokes fn(lo, hi) over a split of [0, n) into at most parts
+// near-equal contiguous ranges (the same bounds ChunkRanges produces), on
+// a persistent worker pool. Unlike ChunkRanges+ForEach, the steady-state
+// dispatch performs no allocation beyond fn itself: no range slice, no
+// per-call goroutines. The caller always participates, and helpers are
+// claimed only via non-blocking hand-off to idle pool workers, so a busy
+// pool degrades to the caller doing more chunks — never to blocking on
+// unrelated work. Chunk bounds are independent of who executes them, so
+// results writable by disjoint ranges stay deterministic.
+func RunChunks(n, parts int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if parts <= 0 {
+		parts = DefaultWorkers()
+	}
+	if parts > n {
+		parts = n
+	}
+	if parts == 1 {
+		fn(0, n)
+		return
+	}
+	chunkOnce.Do(startChunkWorkers)
+	j := chunkPool.Get().(*chunkJob)
+	j.fn, j.parts = fn, parts
+	j.base, j.rem = n/parts, n%parts
+	j.next.Store(0)
+	helpers := parts - 1
+	if helpers > chunkWorkers {
+		helpers = chunkWorkers
+	}
+claim:
+	for i := 0; i < helpers; i++ {
+		j.wg.Add(1)
+		select {
+		case chunkCh <- j:
+		default:
+			j.wg.Done()
+			break claim
+		}
+	}
+	j.run()
+	j.wg.Wait()
+	j.fn = nil
+	chunkPool.Put(j)
+}
+
 // ChunkRanges splits [0, n) into at most parts contiguous half-open ranges
 // of near-equal size. Useful for row-blocked matrix kernels.
 func ChunkRanges(n, parts int) [][2]int {

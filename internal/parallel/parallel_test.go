@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -148,5 +149,75 @@ func TestChunkRangesBalance(t *testing.T) {
 func TestDefaultWorkersPositive(t *testing.T) {
 	if DefaultWorkers() < 1 {
 		t.Fatal("DefaultWorkers < 1")
+	}
+}
+
+func TestRunChunksMatchesChunkRanges(t *testing.T) {
+	for _, tc := range [][2]int{{10, 3}, {7, 7}, {100, 8}, {1, 4}, {5, 1}, {16, 16}} {
+		n, parts := tc[0], tc[1]
+		want := make([]int, n)
+		for _, r := range ChunkRanges(n, parts) {
+			for i := r[0]; i < r[1]; i++ {
+				want[i]++
+			}
+		}
+		got := make([]int32, n)
+		RunChunks(n, parts, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("RunChunks(%d,%d): bad range [%d,%d)", n, parts, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&got[i], 1)
+			}
+		})
+		for i := range want {
+			if want[i] != 1 || int(got[i]) != 1 {
+				t.Fatalf("RunChunks(%d,%d): index %d covered %d times (ChunkRanges %d)", n, parts, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunChunksConcurrentCallers(t *testing.T) {
+	// Many goroutines share the pool at once; each must see exactly its
+	// own full coverage.
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				const n = 257
+				var sum int64
+				RunChunks(n, 4, func(lo, hi int) {
+					var s int64
+					for i := lo; i < hi; i++ {
+						s += int64(i)
+					}
+					atomic.AddInt64(&sum, s)
+				})
+				if sum != n*(n-1)/2 {
+					t.Errorf("sum = %d", sum)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestRunChunksNested(t *testing.T) {
+	// A chunk body that itself calls RunChunks must not deadlock: busy
+	// workers are never waited on, the caller degrades to serial.
+	var total int64
+	RunChunks(8, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			RunChunks(100, 4, func(l, h int) {
+				atomic.AddInt64(&total, int64(h-l))
+			})
+		}
+	})
+	if total != 800 {
+		t.Fatalf("total = %d", total)
 	}
 }

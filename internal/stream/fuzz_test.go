@@ -44,3 +44,79 @@ func FuzzReadJSON(f *testing.F) {
 		}
 	})
 }
+
+// FuzzAdjacencyFromJSON builds the CSR adjacency view for every graph the
+// JSON decoder accepts and checks its structural invariants: monotone
+// offsets covering all edges, each edge appearing exactly once per
+// direction under its own endpoint, and per-node buckets ascending by edge
+// id (the order the tensor CSR kernels rely on).
+func FuzzAdjacencyFromJSON(f *testing.F) {
+	var seed bytes.Buffer
+	g := NewGraph(500)
+	g.AddNode(Node{IPT: 1, Payload: 2, Selectivity: 1})
+	g.AddNode(Node{IPT: 3, Payload: 4, Selectivity: 1})
+	g.AddNode(Node{IPT: 5, Payload: 6, Selectivity: 1})
+	g.AddEdge(0, 1, 7)
+	g.AddEdge(0, 2, 8)
+	g.AddEdge(1, 2, 9)
+	if err := WriteJSON(&seed, []*Graph{g}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte(`[{"source_rate":1,"nodes":[{"ipt":1,"payload":1,"selectivity":1}],"edges":[]}]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		graphs, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, g := range graphs {
+			adj := g.Adjacency()
+			n, m := g.NumNodes(), g.NumEdges()
+			if len(adj.OutOff) != n+1 || len(adj.InOff) != n+1 {
+				t.Fatalf("offset lengths %d/%d for %d nodes", len(adj.OutOff), len(adj.InOff), n)
+			}
+			if len(adj.OutEdge) != m || len(adj.InEdge) != m {
+				t.Fatalf("edge array lengths %d/%d for %d edges", len(adj.OutEdge), len(adj.InEdge), m)
+			}
+			if adj.OutOff[0] != 0 || adj.InOff[0] != 0 || int(adj.OutOff[n]) != m || int(adj.InOff[n]) != m {
+				t.Fatal("offsets do not cover the edge list")
+			}
+			seenOut := make([]bool, m)
+			for v := 0; v < n; v++ {
+				if adj.OutOff[v] > adj.OutOff[v+1] || adj.InOff[v] > adj.InOff[v+1] {
+					t.Fatalf("non-monotone offsets at node %d", v)
+				}
+				prev := -1
+				for _, ei := range adj.Out(v) {
+					if g.Edges[ei].Src != v {
+						t.Fatalf("edge %d in out-bucket of %d but Src=%d", ei, v, g.Edges[ei].Src)
+					}
+					if ei <= prev {
+						t.Fatalf("out-bucket of %d not ascending: %d after %d", v, ei, prev)
+					}
+					prev = ei
+					seenOut[ei] = true
+				}
+				prev = -1
+				for _, ei := range adj.In(v) {
+					if g.Edges[ei].Dst != v {
+						t.Fatalf("edge %d in in-bucket of %d but Dst=%d", ei, v, g.Edges[ei].Dst)
+					}
+					if ei <= prev {
+						t.Fatalf("in-bucket of %d not ascending: %d after %d", v, ei, prev)
+					}
+					prev = ei
+				}
+				if adj.OutDegree(v) != len(g.OutEdges(v)) || adj.InDegree(v) != len(g.InEdges(v)) {
+					t.Fatalf("degree mismatch at node %d", v)
+				}
+			}
+			for ei, ok := range seenOut {
+				if !ok {
+					t.Fatalf("edge %d missing from out buckets", ei)
+				}
+			}
+		}
+	})
+}

@@ -64,6 +64,104 @@ func WriteJSON(w io.Writer, graphs []*Graph) error {
 	return enc.Encode(graphs)
 }
 
+// JSONWriter emits a JSON array of graphs one element at a time, holding
+// only the element currently being written: the caller generates a graph,
+// writes it, and drops it, so a dataset of huge graphs never materializes
+// in memory at once. The byte stream is identical to WriteJSON over the
+// same non-empty sequence (and to WriteJSON of an empty non-nil slice when
+// nothing is written before Close).
+type JSONWriter struct {
+	w      io.Writer
+	n      int
+	err    error
+	closed bool
+}
+
+// NewJSONWriter returns a writer emitting a JSON graph array to w.
+func NewJSONWriter(w io.Writer) *JSONWriter { return &JSONWriter{w: w} }
+
+func (jw *JSONWriter) emit(s string) {
+	if jw.err == nil {
+		_, jw.err = io.WriteString(jw.w, s)
+	}
+}
+
+func (jw *JSONWriter) emitValue(v any) {
+	if jw.err != nil {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		jw.err = err
+		return
+	}
+	_, jw.err = jw.w.Write(b)
+}
+
+// Write appends one graph to the array. The graph is marshaled field by
+// field — source rate, then each node, then each edge — so no whole-graph
+// buffer is ever built (element-wise marshals concatenate to exactly the
+// bytes json.Marshal produces for the whole graph).
+func (jw *JSONWriter) Write(g *Graph) error {
+	if jw.closed {
+		return fmt.Errorf("stream: JSONWriter already closed")
+	}
+	if jw.n == 0 {
+		jw.emit("[")
+	} else {
+		jw.emit(",")
+	}
+	jw.n++
+	jw.emit(`{"source_rate":`)
+	jw.emitValue(g.SourceRate)
+	jw.emit(`,"nodes":`)
+	if len(g.Nodes) == 0 {
+		jw.emit("null")
+	} else {
+		for i, n := range g.Nodes {
+			if i == 0 {
+				jw.emit("[")
+			} else {
+				jw.emit(",")
+			}
+			jw.emitValue(nodeJSON(n))
+		}
+		jw.emit("]")
+	}
+	jw.emit(`,"edges":`)
+	if len(g.Edges) == 0 {
+		jw.emit("null")
+	} else {
+		for i, e := range g.Edges {
+			if i == 0 {
+				jw.emit("[")
+			} else {
+				jw.emit(",")
+			}
+			jw.emitValue(edgeJSON(e))
+		}
+		jw.emit("]")
+	}
+	jw.emit("}")
+	return jw.err
+}
+
+// Close terminates the array (emitting "[]" when nothing was written) and
+// the trailing newline WriteJSON's encoder produces.
+func (jw *JSONWriter) Close() error {
+	if jw.closed {
+		return jw.err
+	}
+	jw.closed = true
+	if jw.n == 0 {
+		jw.emit("[]")
+	} else {
+		jw.emit("]")
+	}
+	jw.emit("\n")
+	return jw.err
+}
+
 // ReadJSON reads a JSON array of graphs and validates each.
 func ReadJSON(r io.Reader) ([]*Graph, error) {
 	var graphs []*Graph

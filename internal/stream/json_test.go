@@ -57,6 +57,53 @@ func TestReadJSONRejectsInvalid(t *testing.T) {
 	}
 }
 
+// TestJSONWriterMatchesWriteJSON pins the incremental writer's byte stream
+// to WriteJSON's: datasets emitted one graph at a time must be
+// indistinguishable from buffered emission, including HTML-escaped names,
+// omitted zero fields, and edgeless graphs.
+func TestJSONWriterMatchesWriteJSON(t *testing.T) {
+	g1 := jsonTestGraph()
+	g2 := NewGraph(100)
+	g2.AddNode(Node{IPT: 1, Payload: 2, Selectivity: 1, Name: "a<b>&c", State: 7})
+	g3 := NewGraph(1)
+	g3.AddNode(Node{IPT: 0.5, Payload: 1.25, Selectivity: 1})
+	g3.AddNode(Node{IPT: 3, Payload: 4, Selectivity: 2})
+	g3.AddEdge(0, 1, 0.125)
+	g3.AddEdge(0, 1, 9)
+	for _, graphs := range [][]*Graph{nil, {g1}, {g1, g2, g3}} {
+		var want bytes.Buffer
+		ref := graphs
+		if ref == nil {
+			ref = []*Graph{} // WriteJSON(nil) emits "null"; the writer emits "[]"
+		}
+		if err := WriteJSON(&want, ref); err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		jw := NewJSONWriter(&got)
+		for _, g := range graphs {
+			if err := jw.Write(g); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := jw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatalf("incremental stream diverges for %d graphs:\nwant %q\ngot  %q",
+				len(graphs), want.String(), got.String())
+		}
+	}
+	var buf bytes.Buffer
+	jw := NewJSONWriter(&buf)
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Write(jsonTestGraph()); err == nil {
+		t.Fatal("write after close accepted")
+	}
+}
+
 func TestJSONPreservesSimulationSemantics(t *testing.T) {
 	g := jsonTestGraph()
 	var buf bytes.Buffer

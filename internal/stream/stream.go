@@ -51,8 +51,14 @@ type Graph struct {
 	// SourceRate is the tuple ingestion rate (tuples/second) at each source.
 	SourceRate float64
 
-	// adjacency caches, built lazily by ensureAdj.
-	out, in [][]int // node → edge indices
+	// Adjacency cache in CSR form, built lazily by ensureAdj: outAdj holds
+	// edge indices grouped by source node (node v's out-edges are
+	// outAdj[outOff[v]:outOff[v+1]], ascending edge id), inAdj the same
+	// grouped by destination. One flat array per direction replaces the old
+	// per-node slice-of-slices, so a million-node graph costs two offset
+	// arrays and two edge-id arrays instead of 2N slice headers.
+	outOff, inOff []int32
+	outAdj, inAdj []int
 
 	// loadOverride / trafficOverride, when non-nil, short-circuit
 	// NodeLoad / EdgeTraffic. Coarse graphs set them because collapsing a
@@ -101,32 +107,90 @@ func (g *Graph) AddEdge(src, dst int, payload float64) int {
 	return len(g.Edges) - 1
 }
 
-func (g *Graph) invalidate() { g.out, g.in = nil, nil }
+func (g *Graph) invalidate() { g.outOff, g.inOff, g.outAdj, g.inAdj = nil, nil, nil, nil }
 
+// ensureAdj builds both CSR incidence views with a counting sort over the
+// edge list: two O(N+E) passes, no per-node append slices. Iterating edges
+// in index order makes every per-node bucket ascend by edge id, which the
+// tensor CSR segment kernels rely on for bit-identical accumulation order.
 func (g *Graph) ensureAdj() {
-	if g.out != nil {
+	if g.outOff != nil {
 		return
 	}
-	g.out = make([][]int, len(g.Nodes))
-	g.in = make([][]int, len(g.Nodes))
-	for ei, e := range g.Edges {
-		g.out[e.Src] = append(g.out[e.Src], ei)
-		g.in[e.Dst] = append(g.in[e.Dst], ei)
+	n, m := len(g.Nodes), len(g.Edges)
+	outOff := make([]int32, n+1)
+	inOff := make([]int32, n+1)
+	for _, e := range g.Edges {
+		outOff[e.Src+1]++
+		inOff[e.Dst+1]++
 	}
+	for v := 0; v < n; v++ {
+		outOff[v+1] += outOff[v]
+		inOff[v+1] += inOff[v]
+	}
+	outAdj := make([]int, m)
+	inAdj := make([]int, m)
+	outCur := append([]int32(nil), outOff[:n]...)
+	inCur := append([]int32(nil), inOff[:n]...)
+	for ei, e := range g.Edges {
+		outAdj[outCur[e.Src]] = ei
+		outCur[e.Src]++
+		inAdj[inCur[e.Dst]] = ei
+		inCur[e.Dst]++
+	}
+	g.outOff, g.inOff, g.outAdj, g.inAdj = outOff, inOff, outAdj, inAdj
 }
 
-// OutEdges returns the indices of edges leaving node v.
-func (g *Graph) OutEdges(v int) []int { g.ensureAdj(); return g.out[v] }
+// Adjacency is a CSR (compressed sparse row) view of a graph's incidence
+// lists: node v's out-edges are OutEdge[OutOff[v]:OutOff[v+1]] and its
+// in-edges InEdge[InOff[v]:InOff[v+1]], each bucket ascending by edge id.
+// The arrays are shared with the graph's cache — callers must not mutate
+// them, and must not hold the view across AddNode/AddEdge.
+type Adjacency struct {
+	OutOff, InOff   []int32
+	OutEdge, InEdge []int
+}
 
-// InEdges returns the indices of edges entering node v.
-func (g *Graph) InEdges(v int) []int { g.ensureAdj(); return g.in[v] }
+// Out returns the edge indices leaving node v.
+func (a Adjacency) Out(v int) []int { return a.OutEdge[a.OutOff[v]:a.OutOff[v+1]] }
+
+// In returns the edge indices entering node v.
+func (a Adjacency) In(v int) []int { return a.InEdge[a.InOff[v]:a.InOff[v+1]] }
+
+// OutDegree returns the number of edges leaving node v.
+func (a Adjacency) OutDegree(v int) int { return int(a.OutOff[v+1] - a.OutOff[v]) }
+
+// InDegree returns the number of edges entering node v.
+func (a Adjacency) InDegree(v int) int { return int(a.InOff[v+1] - a.InOff[v]) }
+
+// Adjacency returns the graph's CSR incidence view, building it on first
+// use. The view is shared by gnn.BuildFeatures, the simulators, and the
+// re-allocation loop so the arrays are constructed exactly once per graph.
+func (g *Graph) Adjacency() Adjacency {
+	g.ensureAdj()
+	return Adjacency{OutOff: g.outOff, InOff: g.inOff, OutEdge: g.outAdj, InEdge: g.inAdj}
+}
+
+// OutEdges returns the indices of edges leaving node v (a view into the
+// CSR cache — do not mutate).
+func (g *Graph) OutEdges(v int) []int {
+	g.ensureAdj()
+	return g.outAdj[g.outOff[v]:g.outOff[v+1]]
+}
+
+// InEdges returns the indices of edges entering node v (a view into the
+// CSR cache — do not mutate).
+func (g *Graph) InEdges(v int) []int {
+	g.ensureAdj()
+	return g.inAdj[g.inOff[v]:g.inOff[v+1]]
+}
 
 // Sources returns nodes with no incoming edges.
 func (g *Graph) Sources() []int {
 	g.ensureAdj()
 	var s []int
 	for v := range g.Nodes {
-		if len(g.in[v]) == 0 {
+		if g.inOff[v] == g.inOff[v+1] {
 			s = append(s, v)
 		}
 	}
@@ -138,7 +202,7 @@ func (g *Graph) Sinks() []int {
 	g.ensureAdj()
 	var s []int
 	for v := range g.Nodes {
-		if len(g.out[v]) == 0 {
+		if g.outOff[v] == g.outOff[v+1] {
 			s = append(s, v)
 		}
 	}
@@ -171,7 +235,7 @@ func (g *Graph) TopoOrder() ([]int, error) {
 		v := queue[0]
 		queue = queue[1:]
 		order = append(order, v)
-		for _, ei := range g.out[v] {
+		for _, ei := range g.outAdj[g.outOff[v]:g.outOff[v+1]] {
 			d := g.Edges[ei].Dst
 			indeg[d]--
 			if indeg[d] == 0 {
@@ -224,7 +288,7 @@ func (g *Graph) PseudoTopoOrder() []int {
 		}
 		done[v] = true
 		order = append(order, v)
-		for _, ei := range g.out[v] {
+		for _, ei := range g.outAdj[g.outOff[v]:g.outOff[v+1]] {
 			d := g.Edges[ei].Dst
 			if done[d] {
 				continue
@@ -311,11 +375,11 @@ func (g *Graph) SteadyRates() []float64 {
 	out := make([]float64, len(g.Nodes))
 	for _, v := range order {
 		rate := in[v]
-		if len(g.in[v]) == 0 {
+		if g.inOff[v] == g.inOff[v+1] {
 			rate = g.SourceRate
 		}
 		out[v] = rate * g.Nodes[v].Selectivity
-		for _, ei := range g.out[v] {
+		for _, ei := range g.outAdj[g.outOff[v]:g.outOff[v+1]] {
 			in[g.Edges[ei].Dst] += out[v]
 		}
 	}
@@ -334,10 +398,10 @@ func (g *Graph) NodeLoad() []float64 {
 	load := make([]float64, len(g.Nodes))
 	for v := range g.Nodes {
 		inRate := 0.0
-		if len(g.in[v]) == 0 {
+		if g.inOff[v] == g.inOff[v+1] {
 			inRate = g.SourceRate
 		} else {
-			for _, ei := range g.in[v] {
+			for _, ei := range g.inAdj[g.inOff[v]:g.inOff[v+1]] {
 				inRate += rates[g.Edges[ei].Src]
 			}
 		}
@@ -623,6 +687,9 @@ func (g *Graph) ScaleSourceRate(f float64) *Graph {
 		return g
 	}
 	sg := &Graph{Nodes: g.Nodes, Edges: g.Edges, SourceRate: g.SourceRate * f}
+	// The CSR cache depends only on the shared Nodes/Edges, so the scaled
+	// view can reuse it instead of rebuilding per surge factor.
+	sg.outOff, sg.inOff, sg.outAdj, sg.inAdj = g.outOff, g.inOff, g.outAdj, g.inAdj
 	if g.loadOverride != nil {
 		sg.loadOverride = make([]float64, len(g.loadOverride))
 		sg.trafficOverride = make([]float64, len(g.trafficOverride))

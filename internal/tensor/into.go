@@ -140,9 +140,8 @@ func SegmentMeanInto(a *Matrix, seg []int, segments int, dst *Matrix) *Matrix {
 	// Parallel path: bucket member rows per segment (counting sort keeps
 	// them in ascending row order), then fan out over segment blocks.
 	offs, members := bucketByKey(seg, segments)
-	chunks := parallel.ChunkRanges(segments, parallel.DefaultWorkers())
-	parallel.ForEach(len(chunks), 0, func(c int) {
-		for s := chunks[c][0]; s < chunks[c][1]; s++ {
+	parallel.RunChunks(segments, parallel.DefaultWorkers(), func(clo, chi int) {
+		for s := clo; s < chi; s++ {
 			orow := dst.Row(s)
 			for j := range orow {
 				orow[j] = 0
@@ -184,9 +183,8 @@ func ScatterAddRowsPar(dst, src *Matrix, idx []int) {
 		}
 	}
 	offs, members := bucketByKey(idx, dst.Rows)
-	chunks := parallel.ChunkRanges(dst.Rows, parallel.DefaultWorkers())
-	parallel.ForEach(len(chunks), 0, func(c int) {
-		for r := chunks[c][0]; r < chunks[c][1]; r++ {
+	parallel.RunChunks(dst.Rows, parallel.DefaultWorkers(), func(clo, chi int) {
+		for r := clo; r < chi; r++ {
 			lo, hi := offs[r], offs[r+1]
 			if lo == hi {
 				continue

@@ -204,9 +204,8 @@ func MatMulInto(a, b, dst *Matrix) *Matrix {
 		kernel(a, b, dst, 0, a.Rows)
 		return dst
 	}
-	chunks := parallel.ChunkRanges(a.Rows, parallel.DefaultWorkers())
-	parallel.ForEach(len(chunks), 0, func(c int) {
-		kernel(a, b, dst, chunks[c][0], chunks[c][1])
+	parallel.RunChunks(a.Rows, parallel.DefaultWorkers(), func(lo, hi int) {
+		kernel(a, b, dst, lo, hi)
 	})
 	return dst
 }
@@ -233,10 +232,48 @@ func MatMulTanhInto(a, b, dst *Matrix) *Matrix {
 		rowRange(0, a.Rows)
 		return dst
 	}
-	chunks := parallel.ChunkRanges(a.Rows, parallel.DefaultWorkers())
-	parallel.ForEach(len(chunks), 0, func(c int) {
-		rowRange(chunks[c][0], chunks[c][1])
-	})
+	parallel.RunChunks(a.Rows, parallel.DefaultWorkers(), rowRange)
+	return dst
+}
+
+// ConcatMatMulTanhInto computes tanh(concat(x[:, lo:hi], y)·b) into dst
+// without materializing the slice or the concatenation: each operand row
+// is assembled in a worker-local scratch and fed to the same productRow
+// kernel MatMulTanhInto uses, so the result is bit-identical to slicing,
+// concatenating, and calling MatMulTanhInto.
+func ConcatMatMulTanhInto(x *Matrix, lo, hi int, y, b, dst *Matrix) *Matrix {
+	if lo < 0 || hi > x.Cols || lo > hi {
+		panic(fmt.Sprintf("tensor: concat-matmul-tanh slice [%d,%d) of %d", lo, hi, x.Cols))
+	}
+	k1, k2 := hi-lo, y.Cols
+	if x.Rows != y.Rows {
+		panic(fmt.Sprintf("tensor: concat-matmul-tanh row mismatch %d vs %d", x.Rows, y.Rows))
+	}
+	if b.Rows != k1+k2 {
+		panic(fmt.Sprintf("tensor: concat-matmul-tanh shape mismatch %d+%d cols · %dx%d", k1, k2, b.Rows, b.Cols))
+	}
+	mustShape("concat-matmul-tanh dst", dst, x.Rows, b.Cols)
+	n := b.Cols
+	rowRange := func(rlo, rhi int) {
+		buf := Get(1, k1+k2)
+		crow := buf.Data
+		for i := rlo; i < rhi; i++ {
+			copy(crow[:k1], x.Data[i*x.Cols+lo:i*x.Cols+hi])
+			copy(crow[k1:], y.Data[i*k2:(i+1)*k2])
+			orow := dst.Data[i*n : (i+1)*n]
+			productRow(crow, b.Data, n, orow)
+			for j, v := range orow {
+				orow[j] = math.Tanh(v)
+			}
+		}
+		Put(buf)
+	}
+	work := x.Rows * (k1 + k2) * n
+	if work < parallelThreshold {
+		rowRange(0, x.Rows)
+		return dst
+	}
+	parallel.RunChunks(x.Rows, parallel.DefaultWorkers(), rowRange)
 	return dst
 }
 
@@ -261,10 +298,7 @@ func GatherMatMulInto(a *Matrix, idx []int, b, dst *Matrix) *Matrix {
 		rowRange(0, len(idx))
 		return dst
 	}
-	chunks := parallel.ChunkRanges(len(idx), parallel.DefaultWorkers())
-	parallel.ForEach(len(chunks), 0, func(c int) {
-		rowRange(chunks[c][0], chunks[c][1])
-	})
+	parallel.RunChunks(len(idx), parallel.DefaultWorkers(), rowRange)
 	return dst
 }
 
@@ -304,10 +338,7 @@ func GatherMatMulAddTanhInto(a *Matrix, idx []int, b, add, dst *Matrix) *Matrix 
 		rowRange(0, len(idx))
 		return dst
 	}
-	chunks := parallel.ChunkRanges(len(idx), parallel.DefaultWorkers())
-	parallel.ForEach(len(chunks), 0, func(c int) {
-		rowRange(chunks[c][0], chunks[c][1])
-	})
+	parallel.RunChunks(len(idx), parallel.DefaultWorkers(), rowRange)
 	return dst
 }
 
@@ -326,10 +357,7 @@ func MatMulT1Into(a, b, dst *Matrix) *Matrix {
 		colRange(0, a.Cols)
 		return dst
 	}
-	chunks := parallel.ChunkRanges(a.Cols, parallel.DefaultWorkers())
-	parallel.ForEach(len(chunks), 0, func(c int) {
-		colRange(chunks[c][0], chunks[c][1])
-	})
+	parallel.RunChunks(a.Cols, parallel.DefaultWorkers(), colRange)
 	return dst
 }
 
@@ -348,10 +376,7 @@ func GatherMatMulT1Into(a *Matrix, idx []int, b, dst *Matrix) *Matrix {
 		colRange(0, a.Cols)
 		return dst
 	}
-	chunks := parallel.ChunkRanges(a.Cols, parallel.DefaultWorkers())
-	parallel.ForEach(len(chunks), 0, func(c int) {
-		colRange(chunks[c][0], chunks[c][1])
-	})
+	parallel.RunChunks(a.Cols, parallel.DefaultWorkers(), colRange)
 	return dst
 }
 
@@ -425,10 +450,7 @@ func MatMulT2Into(a, b, dst *Matrix) *Matrix {
 		rowRange(0, a.Rows)
 		return dst
 	}
-	chunks := parallel.ChunkRanges(a.Rows, parallel.DefaultWorkers())
-	parallel.ForEach(len(chunks), 0, func(c int) {
-		rowRange(chunks[c][0], chunks[c][1])
-	})
+	parallel.RunChunks(a.Rows, parallel.DefaultWorkers(), rowRange)
 	return dst
 }
 
@@ -471,10 +493,7 @@ func matMulT2BiasInto(a, b, bias, dst *Matrix, kind affineKind) *Matrix {
 		rowRange(0, a.Rows)
 		return dst
 	}
-	chunks := parallel.ChunkRanges(a.Rows, parallel.DefaultWorkers())
-	parallel.ForEach(len(chunks), 0, func(c int) {
-		rowRange(chunks[c][0], chunks[c][1])
-	})
+	parallel.RunChunks(a.Rows, parallel.DefaultWorkers(), rowRange)
 	return dst
 }
 
