@@ -15,7 +15,7 @@ BENCH_THRESHOLD ?= 10
 # size the previous tests left behind.
 BENCH_MEMLIMIT ?= 2GiB
 
-.PHONY: build test check race vet fmt bench bench-smoke bench-gate bench-baseline bench-huge bench-kernels benchdiff curve chaos serve-smoke serve-bench
+.PHONY: build test check race vet fmt lint bench bench-smoke bench-gate bench-baseline bench-huge bench-kernels benchdiff curve chaos serve-smoke serve-bench
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,9 @@ vet:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Static gate: formatting + vet in one target.
+lint: fmt vet
 
 race:
 	$(GO) test -race ./...
@@ -55,10 +58,11 @@ curve:
 	$(GO) run ./cmd/curvecheck .curve.jsonl
 
 # Serving smoke: boot the real allocserve wiring on :0, allocate a
-# generated graph over HTTP (cold + cached), hot-swap via /reload, and
-# scrape /metrics.
+# generated graph over HTTP (cold + cached), hot-swap via /reload,
+# scrape /metrics, and drive the overload path (429 + Retry-After +
+# recovery, access log, trace spans).
 serve-smoke:
-	$(GO) test -count=1 -run TestAllocServeSmoke ./cmd/allocserve/
+	$(GO) test -count=1 -run 'TestAllocServeSmoke|TestAllocServeShedding' ./cmd/allocserve/
 
 # Serving regression bench: the end-to-end service benchmarks (cold and
 # cached paths under 1/8/64 concurrent clients) diffed against the
@@ -68,10 +72,11 @@ serve-bench:
 	$(GO) run ./cmd/benchjson .bench_serve.txt > .bench_serve.json
 	$(GO) run ./cmd/benchjson -diff -threshold $(BENCH_THRESHOLD) $(BENCH_BASELINE) .bench_serve.json
 
-# Full pre-merge check: formatting + vet + race-detected tests + chaos
-# suites + benchmark smoke run + observability smoke + serving smoke +
-# huge-graph scaling gate + regression gate against the committed baseline.
-check: fmt vet race chaos bench-smoke curve serve-smoke bench-huge bench-gate
+# Full pre-merge check: lint (formatting + vet) + race-detected tests +
+# chaos suites + benchmark smoke run + observability smoke + serving
+# smoke + huge-graph scaling gate + regression gate against the
+# committed baseline.
+check: lint race chaos bench-smoke curve serve-smoke bench-huge bench-gate
 
 # Regression gate: measure the stable micro set (min of -count=3) and fail
 # when any benchmark regressed more than BENCH_THRESHOLD percent in ns/op,

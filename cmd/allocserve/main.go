@@ -6,15 +6,19 @@
 //
 // Usage:
 //
-//	allocserve -listen :8080 -model model.json [-devices 10] [-mbps 1000]
+//	allocserve -listen :8080 -model model.json [-devices 10] [-mbps 1000] \
+//	  [-max-inflight 256] [-slo-p99-ms 50] [-access-log access.jsonl] \
+//	  [-trace-out serve-trace.json] [-pprof]
 //	curl -s localhost:8080/allocate -d '{"graph":{"source_rate":10000,
 //	  "nodes":[{"ipt":10,"payload":64},{"ipt":20,"payload":32}],
 //	  "edges":[{"src":0,"dst":1}]}}'
 //
-// Endpoints: POST /allocate, POST /reload, GET /healthz, GET /metrics,
-// GET /debug/vars. SIGHUP re-reads -model and hot-swaps the parameters
-// (in-flight requests finish on the old snapshot); SIGINT/SIGTERM drain
-// and exit.
+// Endpoints: POST /allocate, POST /reload, GET /healthz, GET /statusz,
+// GET /metrics, GET /debug/vars (and /debug/pprof with -pprof). Every
+// response carries an X-Trace-Id; overload answers 429 + Retry-After.
+// SIGHUP re-reads -model, hot-swaps the parameters (in-flight requests
+// finish on the old snapshot), and flushes the trace/access-log sinks;
+// SIGINT/SIGTERM drain, flush, and exit.
 package main
 
 import (
@@ -34,6 +38,54 @@ import (
 	"repro/internal/sim"
 )
 
+// serverConfig is everything startServer needs; the smoke tests run the
+// same wiring on :0 with private registries and temp sinks.
+type serverConfig struct {
+	listen      string
+	modelPath   string
+	hidden      int
+	seed        int64
+	cacheSize   int
+	batchWindow time.Duration
+	maxBatch    int
+	maxInflight int
+	sloP99MS    float64
+	accessLog   string
+	traceOut    string
+	pprof       bool
+	cluster     sim.Cluster
+	reg         *obs.Registry
+}
+
+// obsSinks owns the file-backed observability outputs so every exit
+// path — drain, reload, fatal — flushes them the same way.
+type obsSinks struct {
+	tracer   *obs.Tracer
+	traceOut string
+	access   *obs.JSONLWriter
+}
+
+// flush persists both sinks: the trace file is rewritten with every
+// event so far (reload-safe), the access log is synced to disk.
+func (o *obsSinks) flush() {
+	if o.tracer != nil {
+		if err := o.tracer.WriteFile(o.traceOut); err != nil {
+			obs.Log.Warnf("allocserve: writing %s: %v", o.traceOut, err)
+		}
+	}
+	if err := o.access.Sync(); err != nil {
+		obs.Log.Warnf("allocserve: syncing access log: %v", err)
+	}
+}
+
+// close flushes and closes the sinks (idempotent).
+func (o *obsSinks) close() {
+	o.flush()
+	if err := o.access.Close(); err != nil {
+		obs.Log.Warnf("allocserve: closing access log: %v", err)
+	}
+}
+
 func main() {
 	var (
 		listen      = flag.String("listen", ":8080", "HTTP listen address, e.g. :8080 or :0")
@@ -43,6 +95,12 @@ func main() {
 		cacheSize   = flag.Int("cache", 4096, "placement cache entries (<0 disables)")
 		batchWindow = flag.Duration("batch-window", 200*time.Microsecond, "coalescing window after the first request of a batch (0 disables)")
 		maxBatch    = flag.Int("max-batch", 16, "max requests per batched forward pass")
+		maxInflight = flag.Int("max-inflight", 0, "shed (429) once more than this many requests are in flight (0 = unbounded)")
+		sloP99      = flag.Float64("slo-p99-ms", 0, "serve-latency p99 objective in ms; breaching it latches shed mode with hysteresis (0 = off)")
+		accessLog   = flag.String("access-log", "", "append one JSONL access record per /allocate request to this file")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON of serving spans (queue-wait, batch-assembly, forward, cache-probe) to this file")
+		pprofOn     = flag.Bool("pprof", false, "mount /debug/pprof/ (goroutine stacks and heap contents; opt-in)")
+		rtEvery     = flag.Duration("runtime-every", 5*time.Second, "Go runtime-stats sampling period (goroutines, heap, GC pauses; 0 disables)")
 		devices     = flag.Int("devices", 10, "default cluster size when a request omits its cluster")
 		mbps        = flag.Float64("mbps", 1000, "default cluster link bandwidth (Mbps)")
 		verbose     = flag.Bool("v", false, "verbose logging (debug level)")
@@ -54,17 +112,36 @@ func main() {
 		obs.Log.SetLevel(obs.LevelDebug)
 	}
 
-	svc, srv, err := startServer(*listen, *modelPath, *hidden, *seed, *cacheSize, *batchWindow, *maxBatch,
-		sim.DefaultCluster(*devices, *mbps), obs.Default)
+	if *rtEvery > 0 {
+		stopRT := obs.StartRuntimeStats(obs.Default, *rtEvery)
+		defer stopRT()
+	}
+
+	svc, srv, sinks, err := startServer(serverConfig{
+		listen:      *listen,
+		modelPath:   *modelPath,
+		hidden:      *hidden,
+		seed:        *seed,
+		cacheSize:   *cacheSize,
+		batchWindow: *batchWindow,
+		maxBatch:    *maxBatch,
+		maxInflight: *maxInflight,
+		sloP99MS:    *sloP99,
+		accessLog:   *accessLog,
+		traceOut:    *traceOut,
+		pprof:       *pprofOn,
+		cluster:     sim.DefaultCluster(*devices, *mbps),
+		reg:         obs.Default,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "allocserve: serving on http://%s (model_version=%d)\n", srv.Addr(), svc.Version())
 
-	// SIGHUP hot-swaps the model; SIGINT/SIGTERM drain and exit. A dead
-	// accept loop is polled so the daemon fails loudly instead of idling
-	// with no listener.
+	// SIGHUP hot-swaps the model and flushes the obs sinks; SIGINT/
+	// SIGTERM drain, flush, and exit. A dead accept loop is polled so
+	// the daemon fails loudly instead of idling with no listener.
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
 	tick := time.NewTicker(time.Second)
@@ -78,6 +155,7 @@ func main() {
 				} else {
 					fmt.Fprintf(os.Stderr, "allocserve: reloaded (model_version=%d)\n", svc.Version())
 				}
+				sinks.flush()
 				continue
 			}
 			fmt.Fprintf(os.Stderr, "allocserve: %v, draining\n", sig)
@@ -85,6 +163,7 @@ func main() {
 			err := srv.Shutdown(ctx)
 			cancel()
 			svc.Close()
+			sinks.close()
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -93,6 +172,7 @@ func main() {
 		case <-tick.C:
 			if err := srv.Err(); err != nil {
 				svc.Close()
+				sinks.close()
 				fmt.Fprintf(os.Stderr, "allocserve: listener died: %v\n", err)
 				os.Exit(1)
 			}
@@ -100,37 +180,54 @@ func main() {
 	}
 }
 
-// startServer wires model → service → HTTP listener; the smoke test runs
-// the same path on :0.
-func startServer(listen, modelPath string, hidden int, seed int64, cacheSize int,
-	batchWindow time.Duration, maxBatch int, defCluster sim.Cluster, reg *obs.Registry) (*serve.Service, *obs.Server, error) {
+// startServer wires model → service → HTTP listener plus the obs sinks;
+// the smoke tests run the same path on :0.
+func startServer(cfg serverConfig) (*serve.Service, *obs.Server, *obsSinks, error) {
 	mcfg := core.DefaultConfig()
-	mcfg.Hidden = hidden
-	mcfg.Seed = seed
+	mcfg.Hidden = cfg.hidden
+	mcfg.Seed = cfg.seed
 	model := core.New(mcfg)
-	if modelPath != "" {
-		if err := nn.LoadParams(model.PS, modelPath); err != nil {
-			return nil, nil, err
+	if cfg.modelPath != "" {
+		if err := nn.LoadParams(model.PS, cfg.modelPath); err != nil {
+			return nil, nil, nil, err
 		}
-		fmt.Fprintf(os.Stderr, "loaded %d parameters from %s\n", model.PS.Count(), modelPath)
+		fmt.Fprintf(os.Stderr, "loaded %d parameters from %s\n", model.PS.Count(), cfg.modelPath)
+	}
+
+	sinks := &obsSinks{traceOut: cfg.traceOut}
+	if cfg.traceOut != "" {
+		sinks.tracer = obs.NewTracer()
+	}
+	if cfg.accessLog != "" {
+		var err error
+		sinks.access, err = obs.CreateJSONL(cfg.accessLog)
+		if err != nil {
+			return nil, nil, nil, err
+		}
 	}
 
 	svc, err := serve.New(serve.Options{
 		Model:       model,
-		CacheSize:   cacheSize,
-		BatchWindow: batchWindow,
-		MaxBatch:    maxBatch,
-		Registry:    reg,
+		CacheSize:   cfg.cacheSize,
+		BatchWindow: cfg.batchWindow,
+		MaxBatch:    cfg.maxBatch,
+		Registry:    cfg.reg,
+		Tracer:      sinks.tracer,
+		MaxInflight: cfg.maxInflight,
+		SLOP99MS:    cfg.sloP99MS,
 	})
 	if err != nil {
-		return nil, nil, err
+		sinks.close()
+		return nil, nil, nil, err
 	}
 
-	var h http.Handler = serve.Handler(svc, defCluster, modelPath, reg)
-	srv, err := obs.ServeHandler(listen, h)
+	var h http.Handler = serve.NewHandler(svc, cfg.cluster, cfg.modelPath, cfg.reg,
+		serve.HandlerOpts{AccessLog: sinks.access, Pprof: cfg.pprof})
+	srv, err := obs.ServeHandler(cfg.listen, h)
 	if err != nil {
 		svc.Close()
-		return nil, nil, err
+		sinks.close()
+		return nil, nil, nil, err
 	}
-	return svc, srv, nil
+	return svc, srv, sinks, nil
 }

@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -27,20 +30,52 @@ func specFromGraph(g *stream.Graph) serve.GraphSpec {
 	return gs
 }
 
+// readAccessLog flushes the sinks and parses every JSONL record.
+func readAccessLog(t *testing.T, sinks *obsSinks, path string) []serve.AccessRecord {
+	t.Helper()
+	sinks.flush()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []serve.AccessRecord
+	for i, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var r serve.AccessRecord
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("access log line %d is not JSON: %v\n%s", i, err, line)
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
 // TestAllocServeSmoke boots the real server wiring on :0, allocates a
 // generated graph twice over HTTP (cold then cached), hot-swaps via
-// /reload, and checks the /metrics exposition carries the serve counters.
+// /reload, and checks the /metrics exposition carries the serve
+// counters and the access log carries one valid record per request.
 func TestAllocServeSmoke(t *testing.T) {
 	s := gen.Small()
 	g := s.Generate().Test[0]
 
 	reg := obs.NewRegistry()
-	svc, srv, err := startServer("127.0.0.1:0", "", 24, 1, 1024, 200*time.Microsecond, 16, s.Cluster, reg)
+	logPath := filepath.Join(t.TempDir(), "access.jsonl")
+	svc, srv, sinks, err := startServer(serverConfig{
+		listen:      "127.0.0.1:0",
+		hidden:      24,
+		seed:        1,
+		cacheSize:   1024,
+		batchWindow: 200 * time.Microsecond,
+		maxBatch:    16,
+		accessLog:   logPath,
+		cluster:     s.Cluster,
+		reg:         reg,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer svc.Close()
 	defer srv.Close()
+	defer sinks.close()
 	base := "http://" + srv.Addr()
 
 	body, err := json.Marshal(serve.AllocateRequest{Graph: specFromGraph(g)})
@@ -54,6 +89,9 @@ func TestAllocServeSmoke(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer resp.Body.Close()
+		if resp.Header.Get("X-Trace-Id") == "" {
+			t.Fatal("/allocate response has no X-Trace-Id")
+		}
 		if resp.StatusCode != http.StatusOK {
 			msg, _ := io.ReadAll(resp.Body)
 			t.Fatalf("POST /allocate: status %d: %s", resp.StatusCode, msg)
@@ -105,7 +143,7 @@ func TestAllocServeSmoke(t *testing.T) {
 		t.Fatalf("post-reload allocation served by version %d", v)
 	}
 
-	// Health and metrics.
+	// Health, status, and metrics.
 	hr, err := http.Get(base + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -114,6 +152,15 @@ func TestAllocServeSmoke(t *testing.T) {
 	hr.Body.Close()
 	if !strings.Contains(string(hb), "ok model_version=2") {
 		t.Fatalf("healthz: %s", hb)
+	}
+	zr, err := http.Get(base + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zb, _ := io.ReadAll(zr.Body)
+	zr.Body.Close()
+	if !strings.Contains(string(zb), "model_version:  2") || !strings.Contains(string(zb), "latency_ms") {
+		t.Fatalf("statusz: %s", zb)
 	}
 	mr, err := http.Get(base + "/metrics")
 	if err != nil {
@@ -128,6 +175,8 @@ func TestAllocServeSmoke(t *testing.T) {
 		"serve_reloads_total 1",
 		"serve_model_version 2",
 		"# TYPE serve_latency_ms histogram",
+		"# TYPE serve_latency_quantiles_ms summary",
+		`serve_latency_quantiles_ms{quantile="0.99"}`,
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
@@ -142,5 +191,176 @@ func TestAllocServeSmoke(t *testing.T) {
 	bad.Body.Close()
 	if bad.StatusCode != http.StatusBadRequest {
 		t.Fatalf("out-of-range edge: status %d, want 400", bad.StatusCode)
+	}
+
+	// One valid JSONL access record per /allocate request (3 OK + 1 bad).
+	recs := readAccessLog(t, sinks, logPath)
+	if len(recs) != 4 {
+		t.Fatalf("access log has %d records, want 4", len(recs))
+	}
+	for i, r := range recs {
+		if r.TraceID == "" || r.LatencyMS < 0 {
+			t.Fatalf("record %d malformed: %+v", i, r)
+		}
+		if _, err := time.Parse(time.RFC3339Nano, r.TS); err != nil {
+			t.Fatalf("record %d timestamp: %v", i, err)
+		}
+	}
+	if recs[0].Status != http.StatusOK || recs[0].Nodes != g.NumNodes() || recs[0].Fingerprint == "" {
+		t.Fatalf("cold record malformed: %+v", recs[0])
+	}
+	if !recs[1].Cached {
+		t.Fatalf("cached record malformed: %+v", recs[1])
+	}
+	if recs[3].Status != http.StatusBadRequest || recs[3].Err == "" {
+		t.Fatalf("bad-spec record malformed: %+v", recs[3])
+	}
+}
+
+// TestAllocServeShedding drives the daemon wiring past its inflight
+// bound over real HTTP: with MaxInflight=1 and a wide batch window, a
+// parked request forces concurrent arrivals into 429 + Retry-After,
+// serve_shed_total advances, the parked request and a follow-up both
+// succeed, and the emitted Chrome trace carries the request's
+// queue-wait and forward child spans.
+func TestAllocServeShedding(t *testing.T) {
+	s := gen.Small()
+	graphs := s.Generate().Test[:3]
+
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "access.jsonl")
+	tracePath := filepath.Join(dir, "trace.json")
+	svc, srv, sinks, err := startServer(serverConfig{
+		listen: "127.0.0.1:0",
+		hidden: 24,
+		seed:   1,
+		// Cache off so every request takes the admission-gated forward
+		// path; the wide window parks the first request in the batcher.
+		cacheSize:   -1,
+		batchWindow: 750 * time.Millisecond,
+		maxBatch:    16,
+		maxInflight: 1,
+		accessLog:   logPath,
+		traceOut:    tracePath,
+		cluster:     s.Cluster,
+		reg:         reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	defer srv.Close()
+	defer sinks.close()
+	base := "http://" + srv.Addr()
+
+	post := func(g *stream.Graph) *http.Response {
+		t.Helper()
+		body, err := json.Marshal(serve.AllocateRequest{Graph: specFromGraph(g)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+"/allocate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Park the first request inside the batch window.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var parkedStatus int
+	go func() {
+		defer wg.Done()
+		resp := post(graphs[0])
+		resp.Body.Close()
+		parkedStatus = resp.StatusCode
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Gauge("serve_inflight").Value() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("parked request never showed up in serve_inflight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Concurrent arrivals are shed at admission.
+	sheds := 0
+	for i := 0; i < 3; i++ {
+		resp := post(graphs[1])
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("overload request %d: status %d (%s), want 429", i, resp.StatusCode, msg)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatal("429 without Retry-After")
+		}
+		if resp.Header.Get("X-Trace-Id") == "" {
+			t.Fatal("429 without X-Trace-Id")
+		}
+		sheds++
+	}
+	if got := reg.Counter("serve_shed_total").Value(); got != uint64(sheds) {
+		t.Fatalf("serve_shed_total = %d, want %d", got, sheds)
+	}
+
+	// The parked request and a post-recovery request both succeed.
+	wg.Wait()
+	if parkedStatus != http.StatusOK {
+		t.Fatalf("parked request: status %d, want 200", parkedStatus)
+	}
+	resp := post(graphs[2])
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-recovery request: status %d, want 200", resp.StatusCode)
+	}
+
+	// Shed requests are logged with the shed marker and zero 500s.
+	recs := readAccessLog(t, sinks, logPath)
+	var shedRecs, okRecs int
+	for _, r := range recs {
+		switch {
+		case r.Shed && r.Status == http.StatusTooManyRequests:
+			shedRecs++
+		case r.Status == http.StatusOK:
+			okRecs++
+		default:
+			t.Fatalf("unexpected access record: %+v", r)
+		}
+	}
+	if shedRecs != sheds || okRecs != 2 {
+		t.Fatalf("access log: %d shed / %d ok records, want %d / 2", shedRecs, okRecs, sheds)
+	}
+
+	// The flushed Chrome trace carries the request-scoped child spans.
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []obs.TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	spans := map[string]int{}
+	traced := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		spans[ev.Name]++
+		if ev.Args["trace_id"] != "" {
+			traced[ev.Name] = true
+		}
+	}
+	// cacheSize<0 means no cache-probe spans; the batcher-side child
+	// spans are the acceptance contract.
+	for _, want := range []string{"queue-wait", "forward"} {
+		if spans[want] == 0 {
+			t.Fatalf("trace missing %q spans: %v", want, spans)
+		}
+		if !traced[want] {
+			t.Fatalf("%q spans carry no trace_id arg", want)
+		}
 	}
 }

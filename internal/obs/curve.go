@@ -2,13 +2,13 @@
 // per optimizer step, append-only, trivially parseable by pandas /
 // jq / gnuplot. The paper's evaluation is entirely curves (relative
 // throughput over training, convergence per curriculum level); this is
-// the file those curves are plotted from.
+// the file those curves are plotted from. The writer is a thin typed
+// facade over the shared JSONLWriter.
 package obs
 
 import (
 	"encoding/json"
 	"os"
-	"sync"
 )
 
 // CurveRecord is one optimizer step of the training curve. PhaseMS maps
@@ -34,11 +34,7 @@ type CurveRecord struct {
 // use; nil-safe (a nil writer drops records), so the trainer carries a
 // *CurveWriter unconditionally and the disabled path costs a nil check.
 type CurveWriter struct {
-	mu  sync.Mutex
-	f   *os.File // non-nil when CreateCurve opened the sink
-	enc *json.Encoder
-	n   int
-	err error
+	w *JSONLWriter
 }
 
 // CreateCurve opens (truncating) a JSONL curve file at path.
@@ -47,12 +43,12 @@ func CreateCurve(path string) (*CurveWriter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CurveWriter{f: f, enc: json.NewEncoder(f)}, nil
+	return &CurveWriter{w: &JSONLWriter{f: f, enc: json.NewEncoder(f)}}, nil
 }
 
 // NewCurveWriter wraps an arbitrary encoder sink (tests, buffers).
 func NewCurveWriter(enc *json.Encoder) *CurveWriter {
-	return &CurveWriter{enc: enc}
+	return &CurveWriter{w: NewJSONLWriter(enc)}
 }
 
 // Write appends one record. No-op on a nil writer; after the first
@@ -61,16 +57,7 @@ func (c *CurveWriter) Write(rec CurveRecord) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.err != nil {
-		return
-	}
-	if err := c.enc.Encode(rec); err != nil {
-		c.err = err
-		return
-	}
-	c.n++
+	c.w.Write(rec)
 }
 
 // Len returns the number of records written so far (0 on nil).
@@ -78,9 +65,7 @@ func (c *CurveWriter) Len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
+	return c.w.Len()
 }
 
 // Err returns the first write error, if any.
@@ -88,9 +73,7 @@ func (c *CurveWriter) Err() error {
 	if c == nil {
 		return nil
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.err
+	return c.w.Err()
 }
 
 // Close flushes and closes a file-backed writer (no-op otherwise). It
@@ -99,13 +82,5 @@ func (c *CurveWriter) Close() error {
 	if c == nil {
 		return nil
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.f != nil {
-		if err := c.f.Close(); err != nil && c.err == nil {
-			c.err = err
-		}
-		c.f = nil
-	}
-	return c.err
+	return c.w.Close()
 }

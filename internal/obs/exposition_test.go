@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promLine matches one Prometheus 0.0.4 sample line:
+// name{labels} value — the label block optional, the value a Go float.
+var promLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (\S+)$`)
+
+// parseExposition splits an exposition body into TYPE declarations and
+// parsed samples, failing the test on any malformed line.
+func parseExposition(t *testing.T, body string) (types map[string]string, samples map[string]float64) {
+	t.Helper()
+	types = make(map[string]string)
+	samples = make(map[string]float64)
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := promLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable exposition line: %q", line)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Fatalf("non-numeric sample value in %q: %v", line, err)
+		}
+		samples[m[1]+m[2]] = v
+	}
+	return types, samples
+}
+
+// TestPrometheusExpositionCorrectness pins the exposition format against
+// the scrape contract: every line parses, histogram buckets are
+// cumulative and end at +Inf == _count, _sum/_count agree with the
+// observations, and summary quantile lines carry each objective.
+func TestPrometheusExpositionCorrectness(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("scrape_ops_total").Add(3)
+	reg.Gauge("scrape_depth").Set(-2.5)
+	h := reg.Histogram("scrape_ms", []float64{1, 10, 100})
+	obsVals := []float64{0.5, 5, 5, 50, 500}
+	for _, v := range obsVals {
+		h.Observe(v)
+	}
+	q := reg.Quantile("scrape_q_ms", QuantileOpts{Window: time.Hour})
+	for i := 1; i <= 100; i++ {
+		q.Observe(float64(i))
+	}
+
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	types, samples := parseExposition(t, buf.String())
+
+	for name, want := range map[string]string{
+		"scrape_ops_total": "counter",
+		"scrape_depth":     "gauge",
+		"scrape_ms":        "histogram",
+		"scrape_q_ms":      "summary",
+	} {
+		if got := types[name]; got != want {
+			t.Fatalf("# TYPE %s = %q, want %q", name, got, want)
+		}
+	}
+
+	// Histogram: buckets cumulative and non-decreasing, +Inf equals the
+	// total count, _sum matches the observations.
+	bounds := []string{"1", "10", "100", "+Inf"}
+	prev := -1.0
+	for _, le := range bounds {
+		key := `scrape_ms_bucket{le="` + le + `"}`
+		v, ok := samples[key]
+		if !ok {
+			t.Fatalf("missing bucket %s in:\n%s", key, buf.String())
+		}
+		if v < prev {
+			t.Fatalf("bucket %s = %v not cumulative (prev %v)", key, v, prev)
+		}
+		prev = v
+	}
+	count := samples["scrape_ms_count"]
+	if inf := samples[`scrape_ms_bucket{le="+Inf"}`]; inf != count || count != float64(len(obsVals)) {
+		t.Fatalf("+Inf bucket %v / _count %v, want both %d", inf, count, len(obsVals))
+	}
+	var wantSum float64
+	for _, v := range obsVals {
+		wantSum += v
+	}
+	if got := samples["scrape_ms_sum"]; math.Abs(got-wantSum) > 1e-9 {
+		t.Fatalf("scrape_ms_sum = %v, want %v", got, wantSum)
+	}
+
+	// Summary: one parsed line per objective, quantile values monotone
+	// within the estimator's relative error, _sum/_count consistent.
+	prev = 0
+	for _, obj := range DefaultObjectives {
+		key := `scrape_q_ms{quantile="` + strconv.FormatFloat(obj, 'g', -1, 64) + `"}`
+		v, ok := samples[key]
+		if !ok {
+			t.Fatalf("missing summary line %s in:\n%s", key, buf.String())
+		}
+		if v < prev {
+			t.Fatalf("summary quantiles not monotone: %s = %v after %v", key, v, prev)
+		}
+		prev = v
+	}
+	if got := samples["scrape_q_ms_count"]; got != 100 {
+		t.Fatalf("scrape_q_ms_count = %v, want 100", got)
+	}
+	if got := samples["scrape_q_ms_sum"]; math.Abs(got-5050) > 1e-9 {
+		t.Fatalf("scrape_q_ms_sum = %v, want 5050", got)
+	}
+}

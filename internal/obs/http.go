@@ -14,6 +14,7 @@ import (
 	"expvar"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,9 +37,22 @@ func publishExpvar(reg *Registry) {
 	})
 }
 
+// HandlerOpts tunes the observability mux.
+type HandlerOpts struct {
+	// Pprof mounts net/http/pprof under /debug/pprof/. Off by default:
+	// profiling endpoints expose goroutine stacks and heap contents, so
+	// daemons gate them behind an explicit flag.
+	Pprof bool
+}
+
 // Handler returns the observability mux: /metrics (Prometheus text) and
 // /debug/vars (expvar JSON including the registry snapshot).
 func Handler(reg *Registry) http.Handler {
+	return NewHandler(reg, HandlerOpts{})
+}
+
+// NewHandler is Handler with options (opt-in /debug/pprof/).
+func NewHandler(reg *Registry, opts HandlerOpts) http.Handler {
 	if reg == nil {
 		reg = Default
 	}
@@ -49,6 +63,13 @@ func Handler(reg *Registry) http.Handler {
 		reg.Snapshot().WritePrometheus(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	if opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

@@ -1,0 +1,108 @@
+// jsonl.go is the generic append-only JSONL sink shared by the
+// training-curve writer and the serving access log: one JSON object per
+// line, concurrency-safe, nil-safe, and inert after the first write
+// error so a full disk degrades to "no log" instead of failing the
+// workload it observes.
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+)
+
+// JSONLWriter appends arbitrary records as JSON lines. Safe for
+// concurrent use; nil-safe (a nil writer drops records).
+type JSONLWriter struct {
+	mu  sync.Mutex
+	f   *os.File // non-nil when CreateJSONL opened the sink
+	enc *json.Encoder
+	n   int
+	err error
+}
+
+// CreateJSONL opens (truncating) a JSONL file at path.
+func CreateJSONL(path string) (*JSONLWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &JSONLWriter{f: f, enc: json.NewEncoder(f)}, nil
+}
+
+// NewJSONLWriter wraps an arbitrary encoder sink (tests, buffers).
+func NewJSONLWriter(enc *json.Encoder) *JSONLWriter {
+	return &JSONLWriter{enc: enc}
+}
+
+// Write appends one record. No-op on a nil writer; after the first
+// write error the writer goes inert and the error is kept for Err.
+func (w *JSONLWriter) Write(rec any) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	if err := w.enc.Encode(rec); err != nil {
+		w.err = err
+		return
+	}
+	w.n++
+}
+
+// Len returns the number of records written so far (0 on nil).
+func (w *JSONLWriter) Len() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// Err returns the first write error, if any.
+func (w *JSONLWriter) Err() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Sync flushes a file-backed writer to stable storage (no-op
+// otherwise) — the hook signal handlers use so a drain or reload never
+// loses buffered records.
+func (w *JSONLWriter) Sync() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f != nil {
+		if err := w.f.Sync(); err != nil && w.err == nil {
+			w.err = err
+		}
+	}
+	return w.err
+}
+
+// Close flushes and closes a file-backed writer (no-op otherwise). It
+// returns the first write error even for non-file sinks. Idempotent.
+func (w *JSONLWriter) Close() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f != nil {
+		if err := w.f.Close(); err != nil && w.err == nil {
+			w.err = err
+		}
+		w.f = nil
+	}
+	return w.err
+}

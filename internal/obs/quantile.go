@@ -1,0 +1,300 @@
+// quantile.go implements the windowed streaming quantile estimator
+// behind latency SLOs. Fixed-bucket histograms (registry.go) answer
+// "how many requests were slower than X", but admission control needs
+// the inverse — "what is the p99 right now" — over a sliding window so
+// a burst ten minutes ago cannot keep the server in shed mode.
+//
+// The estimator is HDR-style: values are counted into geometrically
+// spaced buckets (relative error bounded by the growth factor, ~5% by
+// default), and the buckets live in a ring of time slots that together
+// cover the lookback window. Observe is lock-free in the steady state
+// (one atomic bucket increment per sample); slot rotation — entering a
+// new time slice — takes a mutex to reset the expired slot. Queries
+// merge the live slots and walk the cumulative distribution, returning
+// the bucket's upper bound, so a given multiset of samples in a given
+// window always yields the same answer (deterministic, like the rest of
+// the registry). All methods are nil-safe no-ops.
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultObjectives are the quantiles exported by snapshots and the
+// Prometheus summary: median, p90, p99.
+var DefaultObjectives = []float64{0.5, 0.9, 0.99}
+
+// QuantileOpts configures a windowed quantile estimator. The zero value
+// selects the defaults noted per field.
+type QuantileOpts struct {
+	// Window is the total lookback; samples older than this no longer
+	// influence queries (default 30s).
+	Window time.Duration
+	// Slots is the ring granularity: the window is divided into this
+	// many slices, and expiry happens a slice at a time (default 6).
+	Slots int
+	// Min is the smallest distinguishable value; anything at or below
+	// it lands in the first bucket (default 1e-3 — 1µs when observing
+	// milliseconds).
+	Min float64
+	// Growth is the geometric bucket growth factor, bounding relative
+	// error (default 1.05 ≈ 5%).
+	Growth float64
+	// Max caps the covered range; larger values clamp into the last
+	// bucket (default 1e7 — ~2.8h in milliseconds).
+	Max float64
+}
+
+func (o QuantileOpts) withDefaults() QuantileOpts {
+	if o.Window <= 0 {
+		o.Window = 30 * time.Second
+	}
+	if o.Slots <= 0 {
+		o.Slots = 6
+	}
+	if o.Min <= 0 {
+		o.Min = 1e-3
+	}
+	if o.Growth <= 1 {
+		o.Growth = 1.05
+	}
+	if o.Max <= o.Min {
+		o.Max = 1e7
+	}
+	return o
+}
+
+// qslot is one time slice of the ring: a bucket array plus the epoch it
+// currently holds, so a stale slot is detected and reset lazily.
+type qslot struct {
+	epoch   atomic.Int64 // -1 = never used
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func (s *qslot) reset() {
+	for i := range s.counts {
+		s.counts[i].Store(0)
+	}
+	s.count.Store(0)
+	s.sumBits.Store(0)
+}
+
+// Quantile is a windowed streaming quantile estimator. Safe for
+// concurrent use; nil-safe (a nil estimator drops observations and
+// reports zeros).
+type Quantile struct {
+	opts     QuantileOpts
+	logMin   float64
+	logGrow  float64
+	nbuckets int
+	slotDur  time.Duration
+	slots    []qslot
+
+	rotateMu sync.Mutex
+	start    time.Time
+	now      func() time.Time // test hook; defaults to time.Now
+}
+
+// NewQuantile returns a windowed estimator with the given options.
+func NewQuantile(opts QuantileOpts) *Quantile {
+	o := opts.withDefaults()
+	n := 2 + int(math.Ceil(math.Log(o.Max/o.Min)/math.Log(o.Growth)))
+	q := &Quantile{
+		opts:     o,
+		logMin:   math.Log(o.Min),
+		logGrow:  math.Log(o.Growth),
+		nbuckets: n,
+		slotDur:  o.Window / time.Duration(o.Slots),
+		slots:    make([]qslot, o.Slots),
+		start:    time.Now(),
+		now:      time.Now,
+	}
+	for i := range q.slots {
+		q.slots[i].epoch.Store(-1)
+		q.slots[i].counts = make([]atomic.Uint64, n)
+	}
+	return q
+}
+
+// bucket maps a value to its bucket index: 0 holds v <= Min, the last
+// bucket holds v >= Max, and bucket i in between holds
+// (Min·Growth^(i-1), Min·Growth^i].
+func (q *Quantile) bucket(v float64) int {
+	if v <= q.opts.Min || math.IsNaN(v) {
+		return 0
+	}
+	i := int(math.Ceil((math.Log(v)-q.logMin)/q.logGrow - 1e-12))
+	if i < 1 {
+		i = 1
+	}
+	if i >= q.nbuckets {
+		i = q.nbuckets - 1
+	}
+	return i
+}
+
+// upper is the deterministic value reported for bucket i: its upper
+// bound (Min for bucket 0, Max for the overflow bucket).
+func (q *Quantile) upper(i int) float64 {
+	if i <= 0 {
+		return q.opts.Min
+	}
+	if i >= q.nbuckets-1 {
+		return q.opts.Max
+	}
+	return q.opts.Min * math.Exp(float64(i)*q.logGrow)
+}
+
+// epochAt converts a wall time to a slot epoch.
+func (q *Quantile) epochAt(t time.Time) int64 {
+	d := t.Sub(q.start)
+	if d < 0 {
+		d = 0
+	}
+	return int64(d / q.slotDur)
+}
+
+// slotFor returns the ring slot for epoch e, resetting it first if it
+// still holds an expired slice.
+func (q *Quantile) slotFor(e int64) *qslot {
+	s := &q.slots[int(e%int64(len(q.slots)))]
+	if s.epoch.Load() != e {
+		q.rotateMu.Lock()
+		if s.epoch.Load() != e {
+			s.reset()
+			s.epoch.Store(e)
+		}
+		q.rotateMu.Unlock()
+	}
+	return s
+}
+
+// Observe records one sample into the current window slice. No-op on a
+// nil estimator.
+func (q *Quantile) Observe(v float64) {
+	if q == nil {
+		return
+	}
+	s := q.slotFor(q.epochAt(q.now()))
+	s.counts[q.bucket(v)].Add(1)
+	s.count.Add(1)
+	for {
+		old := s.sumBits.Load()
+		cur := math.Float64frombits(old)
+		if s.sumBits.CompareAndSwap(old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+// live reports whether slot epoch se is inside the window ending at
+// epoch e.
+func (q *Quantile) live(se, e int64) bool {
+	return se >= 0 && se > e-int64(len(q.slots)) && se <= e
+}
+
+// Query returns the value at quantile p in [0, 1] over the live window
+// (0 when the window holds no samples, or on a nil estimator). The
+// answer is the upper bound of the bucket containing the rank, so the
+// estimate can overshoot the true quantile by at most one growth factor.
+func (q *Quantile) Query(p float64) float64 {
+	if q == nil {
+		return 0
+	}
+	e := q.epochAt(q.now())
+	var total uint64
+	for i := range q.slots {
+		if q.live(q.slots[i].epoch.Load(), e) {
+			total += q.slots[i].count.Load()
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for b := 0; b < q.nbuckets; b++ {
+		for i := range q.slots {
+			if q.live(q.slots[i].epoch.Load(), e) {
+				cum += q.slots[i].counts[b].Load()
+			}
+		}
+		if cum >= rank {
+			return q.upper(b)
+		}
+	}
+	return q.upper(q.nbuckets - 1)
+}
+
+// Count returns the number of samples in the live window (0 on nil).
+func (q *Quantile) Count() uint64 {
+	if q == nil {
+		return 0
+	}
+	e := q.epochAt(q.now())
+	var total uint64
+	for i := range q.slots {
+		if q.live(q.slots[i].epoch.Load(), e) {
+			total += q.slots[i].count.Load()
+		}
+	}
+	return total
+}
+
+// Sum returns the sum of samples in the live window (0 on nil).
+func (q *Quantile) Sum() float64 {
+	if q == nil {
+		return 0
+	}
+	e := q.epochAt(q.now())
+	var sum float64
+	for i := range q.slots {
+		if q.live(q.slots[i].epoch.Load(), e) {
+			sum += math.Float64frombits(q.slots[i].sumBits.Load())
+		}
+	}
+	return sum
+}
+
+// SnapshotQuantile captures the default objectives plus window count and
+// sum — the exact data the Prometheus summary exposition needs.
+func (q *Quantile) SnapshotQuantile() QuantileSnapshot {
+	snap := QuantileSnapshot{Objectives: append([]float64(nil), DefaultObjectives...)}
+	snap.Values = make([]float64, len(snap.Objectives))
+	if q == nil {
+		return snap
+	}
+	for i, p := range snap.Objectives {
+		snap.Values[i] = q.Query(p)
+	}
+	snap.Count = q.Count()
+	snap.Sum = q.Sum()
+	return snap
+}
+
+// QuantileSnapshot is the point-in-time view of one windowed estimator.
+type QuantileSnapshot struct {
+	// Objectives are the reported quantiles (DefaultObjectives);
+	// Values[i] is the window estimate at Objectives[i].
+	Objectives []float64 `json:"objectives"`
+	Values     []float64 `json:"values"`
+	Count      uint64    `json:"count"`
+	Sum        float64   `json:"sum"`
+}
+
+// QuantileValue pairs an estimator name with its snapshot.
+type QuantileValue struct {
+	Name string `json:"name"`
+	QuantileSnapshot
+}

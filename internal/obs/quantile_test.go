@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Quantile deterministically in tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestQuantile(opts QuantileOpts) (*Quantile, *fakeClock) {
+	q := NewQuantile(opts)
+	clk := &fakeClock{t: q.start}
+	q.now = clk.now
+	return q, clk
+}
+
+// TestQuantileAccuracy pins the relative-error bound: for a known
+// sample set, every reported quantile is within one growth factor of
+// the exact order statistic.
+func TestQuantileAccuracy(t *testing.T) {
+	q, _ := newTestQuantile(QuantileOpts{})
+	for v := 1; v <= 1000; v++ {
+		q.Observe(float64(v))
+	}
+	if got := q.Count(); got != 1000 {
+		t.Fatalf("Count = %d, want 1000", got)
+	}
+	if got, want := q.Sum(), 1000.0*1001/2; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99, 1.0} {
+		exact := math.Ceil(p * 1000)
+		got := q.Query(p)
+		if got < exact || got > exact*1.06 {
+			t.Fatalf("Query(%v) = %v, want within [%v, %v]", p, got, exact, exact*1.06)
+		}
+	}
+	if got := q.Query(0); got <= 0 {
+		t.Fatalf("Query(0) = %v, want first-bucket bound > 0", got)
+	}
+}
+
+// TestQuantileDeterministic pins that the same multiset of samples
+// always yields bit-identical answers.
+func TestQuantileDeterministic(t *testing.T) {
+	build := func() *Quantile {
+		q, _ := newTestQuantile(QuantileOpts{})
+		for v := 0; v < 500; v++ {
+			q.Observe(float64(v%37) + 0.25)
+		}
+		return q
+	}
+	a, b := build(), build()
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if math.Float64bits(a.Query(p)) != math.Float64bits(b.Query(p)) {
+			t.Fatalf("Query(%v) differs across identical builds: %v vs %v", p, a.Query(p), b.Query(p))
+		}
+	}
+}
+
+// TestQuantileWindowExpiry pins the sliding window: samples rotate out
+// after Window elapses, and a half-expired window reflects only the
+// still-live slices.
+func TestQuantileWindowExpiry(t *testing.T) {
+	q, clk := newTestQuantile(QuantileOpts{Window: time.Second, Slots: 4})
+	for i := 0; i < 100; i++ {
+		q.Observe(1000) // slow epoch
+	}
+	if p := q.Query(0.99); p < 1000 {
+		t.Fatalf("p99 = %v with only slow samples, want >= 1000", p)
+	}
+
+	// Move past the full window: the slow samples must be gone.
+	clk.advance(1250 * time.Millisecond)
+	if c := q.Count(); c != 0 {
+		t.Fatalf("Count = %d after window expiry, want 0", c)
+	}
+	if p := q.Query(0.99); p != 0 {
+		t.Fatalf("p99 = %v over an empty window, want 0", p)
+	}
+
+	// Fresh fast samples dominate a fresh window.
+	for i := 0; i < 100; i++ {
+		q.Observe(1)
+	}
+	if p := q.Query(0.99); p >= 1000 {
+		t.Fatalf("p99 = %v after recovery, want ~1", p)
+	}
+
+	// Straddle: slow samples in the current slice, fast in the next —
+	// both are live until the slow slice rotates out.
+	clk.advance(250 * time.Millisecond)
+	q.Observe(5000)
+	if p := q.Query(1.0); p < 5000 {
+		t.Fatalf("max = %v with a live slow sample, want >= 5000", p)
+	}
+	clk.advance(time.Second)
+	q.Observe(1)
+	if p := q.Query(1.0); p >= 5000 {
+		t.Fatalf("max = %v after the slow slice expired, want ~1", p)
+	}
+}
+
+// TestQuantileClamps pins the range clamps: values at or below Min land
+// in the first bucket, values above Max report Max.
+func TestQuantileClamps(t *testing.T) {
+	q, _ := newTestQuantile(QuantileOpts{Min: 0.01, Max: 100})
+	q.Observe(-5)
+	q.Observe(0)
+	q.Observe(1e9)
+	if got := q.Query(0.5); got != 0.01 {
+		t.Fatalf("median = %v, want Min bucket bound 0.01", got)
+	}
+	if got := q.Query(1.0); got != 100 {
+		t.Fatalf("max = %v, want Max clamp 100", got)
+	}
+}
+
+// TestQuantileNilSafe pins the nil contract shared by the registry.
+func TestQuantileNilSafe(t *testing.T) {
+	var q *Quantile
+	q.Observe(1)
+	if q.Query(0.99) != 0 || q.Count() != 0 || q.Sum() != 0 {
+		t.Fatal("nil Quantile must report zeros")
+	}
+	snap := q.SnapshotQuantile()
+	if len(snap.Objectives) != len(DefaultObjectives) || len(snap.Values) != len(snap.Objectives) {
+		t.Fatalf("nil snapshot malformed: %+v", snap)
+	}
+	var r *Registry
+	if r.Quantile("x", QuantileOpts{}) != nil {
+		t.Fatal("nil registry must hand out nil quantiles")
+	}
+}
+
+// TestQuantileRegistry pins registry integration: creation is
+// memoized, snapshots are name-sorted, and the Prometheus exposition
+// carries summary lines.
+func TestQuantileRegistry(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Quantile("b_latency_ms", QuantileOpts{})
+	if reg.Quantile("b_latency_ms", QuantileOpts{Slots: 99}) != a {
+		t.Fatal("second lookup must return the same estimator")
+	}
+	reg.Quantile("a_wait_ms", QuantileOpts{})
+	a.Observe(2)
+	a.Observe(4)
+
+	snap := reg.Snapshot()
+	if len(snap.Quantiles) != 2 || snap.Quantiles[0].Name != "a_wait_ms" || snap.Quantiles[1].Name != "b_latency_ms" {
+		t.Fatalf("snapshot quantiles not name-sorted: %+v", snap.Quantiles)
+	}
+	if snap.Quantiles[1].Count != 2 {
+		t.Fatalf("b_latency_ms count = %d, want 2", snap.Quantiles[1].Count)
+	}
+}
+
+// TestQuantileConcurrent hammers Observe/Query from many goroutines —
+// meaningful under -race.
+func TestQuantileConcurrent(t *testing.T) {
+	q := NewQuantile(QuantileOpts{Window: 50 * time.Millisecond, Slots: 4})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				q.Observe(float64(w*i%97) + 0.5)
+				if i%64 == 0 {
+					q.Query(0.99)
+					q.Count()
+					q.Sum()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

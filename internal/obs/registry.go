@@ -1,9 +1,10 @@
 // Package obs is the repository's zero-dependency observability layer:
 // a concurrent metrics registry (counters, gauges, fixed-bucket
-// histograms), a span tracer exporting Chrome trace-event JSON, a JSONL
-// training-curve sink, a leveled logger, and an HTTP exposition endpoint
-// (/metrics Prometheus text + /debug/vars expvar) — all built on the
-// standard library only.
+// histograms, windowed latency quantiles), a span tracer exporting
+// Chrome trace-event JSON, JSONL sinks (training curves, access logs),
+// a leveled logger, a periodic Go runtime-stats collector, and an HTTP
+// exposition endpoint (/metrics Prometheus text + /debug/vars expvar,
+// optional /debug/pprof) — all built on the standard library only.
 //
 // Design contract:
 //
@@ -176,6 +177,7 @@ type Snapshot struct {
 	Counters   []MetricValue    `json:"counters"`
 	Gauges     []MetricValue    `json:"gauges"`
 	Histograms []HistogramValue `json:"histograms"`
+	Quantiles  []QuantileValue  `json:"quantiles,omitempty"`
 }
 
 // Registry is a concurrent metric namespace. Metric lookup/creation
@@ -187,6 +189,7 @@ type Registry struct {
 	ctrs   map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
+	quants map[string]*Quantile
 }
 
 // NewRegistry returns an empty registry.
@@ -195,6 +198,7 @@ func NewRegistry() *Registry {
 		ctrs:   make(map[string]*Counter),
 		gauges: make(map[string]*Gauge),
 		hists:  make(map[string]*Histogram),
+		quants: make(map[string]*Quantile),
 	}
 }
 
@@ -253,6 +257,24 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Quantile returns the named windowed quantile estimator, creating it
+// with the given options on first use (opts are ignored for an existing
+// estimator; the zero value selects the defaults). A nil registry
+// returns a nil (no-op) estimator.
+func (r *Registry) Quantile(name string, opts QuantileOpts) *Quantile {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	q, ok := r.quants[name]
+	if !ok {
+		q = NewQuantile(opts)
+		r.quants[name] = q
+	}
+	return q
+}
+
 // Snapshot returns a deterministic, name-sorted view of every metric.
 func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
@@ -271,6 +293,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.hists {
 		hists[k] = v
 	}
+	quants := make(map[string]*Quantile, len(r.quants))
+	for k, v := range r.quants {
+		quants[k] = v
+	}
 	r.mu.Unlock()
 
 	snap := Snapshot{}
@@ -288,6 +314,9 @@ func (r *Registry) Snapshot() Snapshot {
 			hs.Buckets[i] = h.counts[i].Load()
 		}
 		snap.Histograms = append(snap.Histograms, HistogramValue{Name: name, HistogramSnapshot: hs})
+	}
+	for _, name := range sortedKeys(quants) {
+		snap.Quantiles = append(snap.Quantiles, QuantileValue{Name: name, QuantileSnapshot: quants[name].SnapshotQuantile()})
 	}
 	return snap
 }
@@ -332,6 +361,19 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 			}
 		}
 		if _, err := fmt.Fprintf(w, "%s_sum %v\n%s_count %d\n", h.Name, h.Sum, h.Name, h.Count); err != nil {
+			return err
+		}
+	}
+	for _, q := range s.Quantiles {
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", q.Name); err != nil {
+			return err
+		}
+		for i, obj := range q.Objectives {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %v\n", q.Name, fmt.Sprintf("%v", obj), q.Values[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %v\n%s_count %d\n", q.Name, q.Sum, q.Name, q.Count); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,154 @@
+// runtime.go is the periodic Go runtime-stats collector: a background
+// sampler that mirrors the runtime/metrics counters a long-running
+// daemon actually pages on — goroutine count, heap footprint, GC cycle
+// count, and the GC stop-the-world pause distribution — into the obs
+// registry, so one /metrics scrape answers "is the process itself
+// healthy" next to the serving metrics.
+package obs
+
+import (
+	"runtime/metrics"
+	"time"
+)
+
+// Runtime metric names read from runtime/metrics. The pause histogram
+// name moved in Go 1.22; both spellings are probed so the collector
+// works across toolchains and silently skips whatever is absent.
+const (
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmHeapBytes  = "/memory/classes/heap/objects:bytes"
+	rmGCCycles   = "/gc/cycles/total:gc-cycles"
+)
+
+var rmPauseNames = []string{"/sched/pauses/total/gc:seconds", "/gc/pauses:seconds"}
+
+// runtimeCollector owns the registry handles and the incremental pause
+// state between samples.
+type runtimeCollector struct {
+	goroutines *Gauge
+	heapBytes  *Gauge
+	gcCycles   *Gauge
+	pauses     *Histogram
+
+	samples    []metrics.Sample
+	pauseIdx   int      // index into samples of the pause histogram, -1 if unsupported
+	prevCounts []uint64 // pause bucket counts at the previous sample
+}
+
+func newRuntimeCollector(reg *Registry) *runtimeCollector {
+	c := &runtimeCollector{
+		goroutines: reg.Gauge("go_goroutines"),
+		heapBytes:  reg.Gauge("go_heap_bytes"),
+		gcCycles:   reg.Gauge("go_gc_cycles_total"),
+		pauses: reg.Histogram("go_gc_pause_ms",
+			[]float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100}),
+		pauseIdx: -1,
+	}
+	supported := make(map[string]bool)
+	for _, d := range metrics.All() {
+		supported[d.Name] = true
+	}
+	for _, name := range []string{rmGoroutines, rmHeapBytes, rmGCCycles} {
+		if supported[name] {
+			c.samples = append(c.samples, metrics.Sample{Name: name})
+		}
+	}
+	for _, name := range rmPauseNames {
+		if supported[name] {
+			c.pauseIdx = len(c.samples)
+			c.samples = append(c.samples, metrics.Sample{Name: name})
+			break
+		}
+	}
+	return c
+}
+
+// sample reads the runtime metrics once and updates the registry. New
+// GC pauses since the previous sample are re-observed into the obs
+// histogram at their runtime-bucket upper bound (milliseconds), so the
+// exported distribution grows monotonically like any other histogram.
+func (c *runtimeCollector) sample() {
+	if len(c.samples) == 0 {
+		return
+	}
+	metrics.Read(c.samples)
+	for i, s := range c.samples {
+		switch s.Name {
+		case rmGoroutines:
+			c.goroutines.Set(float64(s.Value.Uint64()))
+		case rmHeapBytes:
+			c.heapBytes.Set(float64(s.Value.Uint64()))
+		case rmGCCycles:
+			c.gcCycles.Set(float64(s.Value.Uint64()))
+		default:
+			if i != c.pauseIdx || s.Value.Kind() != metrics.KindFloat64Histogram {
+				continue
+			}
+			h := s.Value.Float64Histogram()
+			if c.prevCounts == nil {
+				c.prevCounts = make([]uint64, len(h.Counts))
+			}
+			for b, n := range h.Counts {
+				if b >= len(c.prevCounts) || n <= c.prevCounts[b] {
+					continue
+				}
+				// Upper bound of runtime bucket b, seconds → ms. The
+				// last bucket is unbounded; fall back to its lower edge.
+				var bound float64
+				if b+1 < len(h.Buckets) {
+					bound = h.Buckets[b+1]
+				} else {
+					bound = h.Buckets[b]
+				}
+				for k := c.prevCounts[b]; k < n; k++ {
+					c.pauses.Observe(bound * 1e3)
+				}
+			}
+			for b, n := range h.Counts {
+				if b < len(c.prevCounts) {
+					c.prevCounts[b] = n
+				}
+			}
+		}
+	}
+}
+
+// StartRuntimeStats launches the periodic collector on reg (Default
+// when nil), sampling every interval (default 5s when <= 0). The
+// returned stop function takes a final sample and halts the collector;
+// it is idempotent.
+func StartRuntimeStats(reg *Registry, interval time.Duration) (stop func()) {
+	if reg == nil {
+		reg = Default
+	}
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	c := newRuntimeCollector(reg)
+	c.sample()
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				c.sample()
+			}
+		}
+	}()
+	var once bool
+	return func() {
+		if once {
+			return
+		}
+		once = true
+		close(done)
+		<-finished
+		c.sample()
+	}
+}

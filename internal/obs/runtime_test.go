@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRuntimeStats pins the collector: after a sample, the process
+// gauges carry live values, and forcing a GC grows the pause histogram.
+func TestRuntimeStats(t *testing.T) {
+	reg := NewRegistry()
+	stop := StartRuntimeStats(reg, time.Hour) // sampling driven by start + stop only
+	runtime.GC()
+	runtime.GC()
+	stop()
+	stop() // idempotent
+
+	if g := reg.Gauge("go_goroutines").Value(); g < 1 {
+		t.Fatalf("go_goroutines = %v, want >= 1", g)
+	}
+	if h := reg.Gauge("go_heap_bytes").Value(); h <= 0 {
+		t.Fatalf("go_heap_bytes = %v, want > 0", h)
+	}
+	if c := reg.Gauge("go_gc_cycles_total").Value(); c < 2 {
+		t.Fatalf("go_gc_cycles_total = %v, want >= 2 after forced GCs", c)
+	}
+	if n := reg.Histogram("go_gc_pause_ms", nil).Count(); n < 2 {
+		t.Fatalf("go_gc_pause_ms count = %d, want >= 2 after forced GCs", n)
+	}
+}
+
+// TestPprofOptIn pins the gate: /debug/pprof/ is absent on the default
+// handler and live when HandlerOpts.Pprof is set.
+func TestPprofOptIn(t *testing.T) {
+	off := httptest.NewServer(Handler(NewRegistry()))
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/pprof/ without opt-in: status %d, want 404", resp.StatusCode)
+	}
+
+	on := httptest.NewServer(NewHandler(NewRegistry(), HandlerOpts{Pprof: true}))
+	defer on.Close()
+	resp, err = http.Get(on.URL + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("/debug/pprof/goroutine with opt-in: status %d body %q", resp.StatusCode, body[:min(len(body), 80)])
+	}
+}
+
+// TestJSONLWriter pins the shared sink: records round-trip as one JSON
+// object per line, Sync/Close are safe, and a write error makes the
+// writer inert.
+func TestJSONLWriter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.jsonl")
+	w, err := CreateJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rec struct {
+		A int    `json:"a"`
+		B string `json:"b"`
+	}
+	w.Write(rec{1, "x"})
+	w.Write(rec{2, "y"})
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", w.Len())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2", len(lines))
+	}
+	var got rec
+	if err := json.Unmarshal([]byte(lines[1]), &got); err != nil || got != (rec{2, "y"}) {
+		t.Fatalf("line 2 = %q (%v)", lines[1], err)
+	}
+
+	// Unencodable record → inert writer with a kept error.
+	var buf bytes.Buffer
+	bw := NewJSONLWriter(json.NewEncoder(&buf))
+	bw.Write(map[string]any{"bad": func() {}})
+	if bw.Err() == nil {
+		t.Fatal("unencodable record must surface an error")
+	}
+	bw.Write(rec{3, "z"})
+	if bw.Len() != 0 {
+		t.Fatal("writer must go inert after the first error")
+	}
+
+	// Nil safety.
+	var nw *JSONLWriter
+	nw.Write(rec{})
+	if nw.Len() != 0 || nw.Err() != nil || nw.Sync() != nil || nw.Close() != nil {
+		t.Fatal("nil JSONLWriter must be a no-op")
+	}
+	if errors.Is(nw.Err(), os.ErrInvalid) {
+		t.Fatal("unexpected nil-writer error")
+	}
+}

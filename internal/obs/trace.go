@@ -17,15 +17,17 @@ import (
 
 // TraceEvent is one Chrome trace-event record. Timestamps and durations
 // are microseconds relative to the tracer's start, as the trace-event
-// format specifies.
+// format specifies. Args carries optional per-event metadata (e.g. the
+// request trace id) that chrome://tracing shows in the detail pane.
 type TraceEvent struct {
-	Name string  `json:"name"`
-	Cat  string  `json:"cat,omitempty"`
-	Ph   string  `json:"ph"`
-	TS   float64 `json:"ts"`
-	Dur  float64 `json:"dur"`
-	PID  int     `json:"pid"`
-	TID  int     `json:"tid"`
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
 }
 
 // traceFile is the on-disk envelope chrome://tracing expects.
@@ -76,6 +78,12 @@ func (s *Span) End() {
 // the path used when one measurement feeds both the tracer and the
 // training-curve phase timings. No-op on a nil tracer.
 func (t *Tracer) Emit(name string, tid int, start time.Time, d time.Duration) {
+	t.EmitArgs(name, tid, start, d, nil)
+}
+
+// EmitArgs is Emit with per-event metadata attached (nil args are
+// simply omitted from the JSON). No-op on a nil tracer.
+func (t *Tracer) EmitArgs(name string, tid int, start time.Time, d time.Duration, args map[string]string) {
 	if t == nil {
 		return
 	}
@@ -86,6 +94,7 @@ func (t *Tracer) Emit(name string, tid int, start time.Time, d time.Duration) {
 		Dur:  float64(d) / float64(time.Microsecond),
 		PID:  1,
 		TID:  tid,
+		Args: args,
 	}
 	t.mu.Lock()
 	t.events = append(t.events, ev)

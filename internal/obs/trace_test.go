@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"os"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -118,6 +119,41 @@ func TestContextTracer(t *testing.T) {
 	}
 	if ev := tr.Events()[0]; ev.Name != "ctx-span" || ev.TID != 0 {
 		t.Fatalf("unexpected event %+v", ev)
+	}
+}
+
+// TestEmitArgs pins per-event metadata: args survive the JSON
+// round-trip, argless events omit the field, and nil tracers stay
+// no-ops.
+func TestEmitArgs(t *testing.T) {
+	var nilTr *Tracer
+	nilTr.EmitArgs("x", 0, time.Now(), time.Millisecond, map[string]string{"k": "v"})
+
+	tr := NewTracer()
+	t0 := time.Now()
+	tr.EmitArgs("forward", 1, t0, 2*time.Millisecond, map[string]string{"trace_id": "abc123"})
+	tr.Emit("plain", 1, t0, time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file traceFile
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	if len(file.TraceEvents) != 2 {
+		t.Fatalf("%d events, want 2", len(file.TraceEvents))
+	}
+	if got := file.TraceEvents[0].Args["trace_id"]; got != "abc123" {
+		t.Fatalf("args did not round-trip: %+v", file.TraceEvents[0])
+	}
+	if file.TraceEvents[1].Args != nil {
+		t.Fatalf("argless event grew args: %+v", file.TraceEvents[1])
+	}
+	if !strings.Contains(buf.String(), `"args":{"trace_id":"abc123"}`) ||
+		strings.Contains(buf.String(), `"plain","ph":"X"`) && strings.Contains(buf.String(), `"args":{}`) {
+		t.Fatalf("unexpected serialization: %s", buf.String())
 	}
 }
 

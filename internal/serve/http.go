@@ -1,14 +1,25 @@
 // http.go is the JSON wire layer of the allocation service: POST
 // /allocate takes a stream-graph spec (plus an optional cluster spec) and
 // returns the placement, POST /reload hot-swaps the model, GET /healthz
-// reports liveness, and /metrics + /debug/vars expose the obs registry —
-// all on one mux served by obs.ServeHandler.
+// reports liveness, GET /statusz renders the human-readable operator
+// page, and /metrics + /debug/vars (+ opt-in /debug/pprof) expose the
+// obs registry — all on one mux served by obs.ServeHandler.
+//
+// Every response carries an X-Trace-Id header: adopted from the request
+// when the client sent a plausible one, minted otherwise. The id rides
+// the request context into the service, tagging the child spans the
+// batcher emits, and keys the JSONL access log — so one curl's journey
+// through validate → queue → batch → forward → respond is a single grep.
 package serve
 
 import (
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -134,56 +145,59 @@ func (cs *ClusterSpec) BuildCluster(def sim.Cluster) (sim.Cluster, error) {
 	return c, nil
 }
 
+// AccessRecord is one JSONL access-log line: enough to join a response
+// (by trace id) with its metrics, cache behaviour, and model version.
+type AccessRecord struct {
+	TS           string  `json:"ts"`
+	TraceID      string  `json:"trace_id"`
+	Status       int     `json:"status"`
+	Fingerprint  string  `json:"fingerprint,omitempty"`
+	Nodes        int     `json:"nodes"`
+	Edges        int     `json:"edges"`
+	Devices      int     `json:"devices"`
+	BatchSize    int     `json:"batch_size"`
+	Cached       bool    `json:"cached"`
+	Shed         bool    `json:"shed,omitempty"`
+	ModelVersion uint64  `json:"model_version,omitempty"`
+	LatencyMS    float64 `json:"latency_ms"`
+	Err          string  `json:"err,omitempty"`
+}
+
+// HandlerOpts tunes the HTTP layer beyond the required wiring.
+type HandlerOpts struct {
+	// AccessLog, when set, receives one AccessRecord per /allocate
+	// request (every status, including sheds and bad specs).
+	AccessLog *obs.JSONLWriter
+	// Pprof mounts /debug/pprof/ on the observability mux (opt-in).
+	Pprof bool
+}
+
 // Handler mounts the allocation API plus the observability endpoints:
-// POST /allocate, POST /reload, GET /healthz, GET /metrics, GET
-// /debug/vars. reloadPath is the checkpoint /reload re-reads ("" means
-// re-snapshot the live parameters). reg should be the registry the
-// service reports into.
+// POST /allocate, POST /reload, GET /healthz, GET /statusz, GET
+// /metrics, GET /debug/vars. reloadPath is the checkpoint /reload
+// re-reads ("" means re-snapshot the live parameters). reg should be
+// the registry the service reports into.
 func Handler(s *Service, defCluster sim.Cluster, reloadPath string, reg *obs.Registry) http.Handler {
+	return NewHandler(s, defCluster, reloadPath, reg, HandlerOpts{})
+}
+
+// NewHandler is Handler with options (access log, pprof).
+func NewHandler(s *Service, defCluster sim.Cluster, reloadPath string, reg *obs.Registry, opts HandlerOpts) http.Handler {
 	mux := http.NewServeMux()
-	obsH := obs.Handler(reg)
+	obsH := obs.NewHandler(reg, obs.HandlerOpts{Pprof: opts.Pprof})
 	mux.Handle("/metrics", obsH)
 	mux.Handle("/debug/vars", obsH)
+	if opts.Pprof {
+		mux.Handle("/debug/pprof/", obsH)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "ok model_version=%d\n", s.Version())
 	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		writeStatusz(w, s, reg)
+	})
 	mux.HandleFunc("/allocate", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		var req AllocateRequest
-		dec := json.NewDecoder(r.Body)
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		g, err := req.Graph.BuildGraph()
-		if err != nil {
-			http.Error(w, "bad graph: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		c, err := req.Cluster.BuildCluster(defCluster)
-		if err != nil {
-			http.Error(w, "bad cluster: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		res, err := s.Allocate(g, c)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(AllocateResponse{
-			Assign:             res.Assign,
-			Devices:            res.Devices,
-			NumSuper:           res.NumSuper,
-			RelativeThroughput: res.Relative,
-			Cached:             res.Cached,
-			ModelVersion:       res.ModelVersion,
-			BatchSize:          res.BatchSize,
-		})
+		handleAllocate(w, r, s, defCluster, opts.AccessLog)
 	})
 	mux.HandleFunc("/reload", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -196,5 +210,129 @@ func Handler(s *Service, defCluster sim.Cluster, reloadPath string, reg *obs.Reg
 		}
 		fmt.Fprintf(w, "reloaded model_version=%d\n", s.Version())
 	})
-	return mux
+	return withTraceID(mux)
+}
+
+// withTraceID stamps every response with an X-Trace-Id — adopted from
+// the request header when plausible, minted otherwise — and threads the
+// id through the request context for span tagging and access logging.
+func withTraceID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Trace-Id")
+		if !validTraceID(id) {
+			id = MintTraceID()
+		}
+		w.Header().Set("X-Trace-Id", id)
+		next.ServeHTTP(w, r.WithContext(WithTraceID(r.Context(), id)))
+	})
+}
+
+// handleAllocate is POST /allocate: decode, validate, serve, respond —
+// writing one access-log record whatever the outcome. Shed requests get
+// 429 + Retry-After so well-behaved clients back off.
+func handleAllocate(w http.ResponseWriter, r *http.Request, s *Service, defCluster sim.Cluster, accessLog *obs.JSONLWriter) {
+	start := time.Now()
+	rec := AccessRecord{TraceID: TraceIDFrom(r.Context())}
+	defer func() {
+		if accessLog == nil {
+			return
+		}
+		rec.TS = start.UTC().Format(time.RFC3339Nano)
+		rec.LatencyMS = float64(time.Since(start)) / float64(time.Millisecond)
+		accessLog.Write(rec)
+	}()
+	fail := func(status int, msg string) {
+		rec.Status = status
+		rec.Err = msg
+		http.Error(w, msg, status)
+	}
+
+	if r.Method != http.MethodPost {
+		fail(http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req AllocateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		fail(http.StatusBadRequest, "bad request: "+err.Error())
+		return
+	}
+	g, err := req.Graph.BuildGraph()
+	if err != nil {
+		fail(http.StatusBadRequest, "bad graph: "+err.Error())
+		return
+	}
+	c, err := req.Cluster.BuildCluster(defCluster)
+	if err != nil {
+		fail(http.StatusBadRequest, "bad cluster: "+err.Error())
+		return
+	}
+	rec.Nodes = g.NumNodes()
+	rec.Edges = len(g.Edges)
+	rec.Devices = c.Devices
+
+	res, err := s.AllocateCtx(r.Context(), g, c)
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			rec.Shed = true
+			w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
+			fail(http.StatusTooManyRequests, err.Error())
+			return
+		}
+		fail(http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	rec.Status = http.StatusOK
+	rec.BatchSize = res.BatchSize
+	rec.Cached = res.Cached
+	rec.ModelVersion = res.ModelVersion
+	if res.Fingerprint != (Fingerprint{}) {
+		rec.Fingerprint = hex.EncodeToString(res.Fingerprint[:])
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(AllocateResponse{
+		Assign:             res.Assign,
+		Devices:            res.Devices,
+		NumSuper:           res.NumSuper,
+		RelativeThroughput: res.Relative,
+		Cached:             res.Cached,
+		ModelVersion:       res.ModelVersion,
+		BatchSize:          res.BatchSize,
+	})
+}
+
+// writeStatusz renders the human-readable operator page: uptime, model
+// version, live quantiles, shed state, cache and traffic counters.
+func writeStatusz(w http.ResponseWriter, s *Service, reg *obs.Registry) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	lat := s.LatencyQuantiles()
+	qw := s.QueueWaitQuantiles()
+	shed := "off"
+	if s.ShedMode() {
+		shed = "ON"
+	}
+	fmt.Fprintf(w, "allocserve status\n\n")
+	fmt.Fprintf(w, "uptime:         %s\n", s.Uptime().Round(time.Second))
+	fmt.Fprintf(w, "model_version:  %d\n", s.Version())
+	fmt.Fprintf(w, "qps:            %v\n", reg.Gauge("serve_qps").Value())
+	fmt.Fprintf(w, "inflight:       %v\n", reg.Gauge("serve_inflight").Value())
+	fmt.Fprintf(w, "requests:       %d (errors %d)\n",
+		reg.Counter("serve_requests_total").Value(), reg.Counter("serve_errors_total").Value())
+	fmt.Fprintf(w, "\nlatency_ms (windowed):    ")
+	writeQuantiles(w, lat)
+	fmt.Fprintf(w, "queue_wait_ms (windowed): ")
+	writeQuantiles(w, qw)
+	fmt.Fprintf(w, "\nshed_mode:            %s\n", shed)
+	fmt.Fprintf(w, "shed_total:           %d\n", reg.Counter("serve_shed_total").Value())
+	fmt.Fprintf(w, "slo_breach_total:     %d\n", reg.Counter("serve_slo_breach_total").Value())
+	fmt.Fprintf(w, "\ncache: %d entries (hits %d, misses %d)\n", s.CacheLen(),
+		reg.Counter("serve_cache_hits_total").Value(), reg.Counter("serve_cache_misses_total").Value())
+}
+
+func writeQuantiles(w http.ResponseWriter, q obs.QuantileSnapshot) {
+	for i, obj := range q.Objectives {
+		fmt.Fprintf(w, "p%g=%.3f ", obj*100, q.Values[i])
+	}
+	fmt.Fprintf(w, "(n=%d)\n", q.Count)
 }

@@ -26,6 +26,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -65,6 +66,24 @@ type Options struct {
 	MaxBatch int
 	// Registry receives serve metrics (default obs.Default).
 	Registry *obs.Registry
+	// Tracer, when set, receives request-scoped child spans
+	// (cache-probe, queue-wait, batch-assembly, forward) tagged with
+	// each request's trace id. Nil disables span emission entirely —
+	// the hot path then takes no extra timestamps.
+	Tracer *obs.Tracer
+	// MaxInflight sheds cache-missing requests once more than this many
+	// requests are in flight (0 = unbounded).
+	MaxInflight int
+	// SLOP99MS is the serve-latency p99 objective in milliseconds; when
+	// the windowed p99 breaches it, shed mode latches on until the p99
+	// recovers with hysteresis (0 = no SLO shedding).
+	SLOP99MS float64
+	// SLOWindow is the lookback of the latency/queue-wait quantile
+	// estimators (default 30s).
+	SLOWindow time.Duration
+
+	// sloEvery overrides the SLO checker period (tests; default 250ms).
+	sloEvery time.Duration
 }
 
 // Result is one served allocation.
@@ -85,6 +104,9 @@ type Result struct {
 	// BatchSize is the size of the forward batch this request rode in
 	// (0 for cache hits).
 	BatchSize int
+	// Fingerprint is the canonical request identity (zero when caching
+	// is disabled and no fingerprint was computed).
+	Fingerprint Fingerprint
 }
 
 // modelVersion pins one immutable parameter snapshot.
@@ -97,6 +119,8 @@ type modelVersion struct {
 type pending struct {
 	f         *gnn.Features
 	ver       *modelVersion
+	traceID   string    // request trace id ("" for programmatic callers)
+	enq       time.Time // when the request entered the batcher queue
 	probs     []float64
 	batchSize int
 	err       error
@@ -126,21 +150,37 @@ type Service struct {
 	closeMu  sync.RWMutex
 	closed   bool
 	wg       sync.WaitGroup
-	stopQPS  chan struct{}
+	stopBG   chan struct{} // closed on Close; stops the QPS sampler and SLO checker
+
+	start  time.Time
+	tracer *obs.Tracer
+
+	// Admission control (admission.go). belowStreak is owned by the SLO
+	// checker goroutine; sloShed is the latch the request path reads.
+	maxInflight int
+	sloP99      float64
+	sloEvery    time.Duration
+	sloShed     atomic.Bool
+	belowStreak int
 
 	// beforeForward, when set (tests), runs before each batched forward
 	// pass with the batch size — the hook that lets the hot-swap test
 	// hold an in-flight request across a Reload.
 	beforeForward func(batch int)
 
-	reqs     *obs.Counter
-	errs     *obs.Counter
-	reloads  *obs.Counter
-	inflight *obs.Gauge
-	verG     *obs.Gauge
-	qps      *obs.Gauge
-	latency  *obs.Histogram
-	batchSz  *obs.Histogram
+	reqs      *obs.Counter
+	errs      *obs.Counter
+	reloads   *obs.Counter
+	shedTotal *obs.Counter
+	sloBreach *obs.Counter
+	inflight  *obs.Gauge
+	verG      *obs.Gauge
+	qps       *obs.Gauge
+	shedGauge *obs.Gauge
+	latency   *obs.Histogram
+	batchSz   *obs.Histogram
+	latQ      *obs.Quantile
+	queueQ    *obs.Quantile
 }
 
 // New starts a service over opts.Model: one batcher goroutine plus a QPS
@@ -165,22 +205,36 @@ func New(opts Options) (*Service, error) {
 	if reg == nil {
 		reg = obs.Default
 	}
+	if opts.sloEvery <= 0 {
+		opts.sloEvery = defaultSLOEvery
+	}
+	qOpts := obs.QuantileOpts{Window: opts.SLOWindow}
 	s := &Service{
-		model:    opts.Model,
-		pipe:     &core.Pipeline{Model: opts.Model, Placer: opts.Placer},
-		window:   opts.BatchWindow,
-		maxBatch: opts.MaxBatch,
-		reqCh:    make(chan *pending, 256),
-		stopQPS:  make(chan struct{}),
-		reqs:     reg.Counter("serve_requests_total"),
-		errs:     reg.Counter("serve_errors_total"),
-		reloads:  reg.Counter("serve_reloads_total"),
-		inflight: reg.Gauge("serve_inflight"),
-		verG:     reg.Gauge("serve_model_version"),
-		qps:      reg.Gauge("serve_qps"),
+		model:       opts.Model,
+		pipe:        &core.Pipeline{Model: opts.Model, Placer: opts.Placer},
+		window:      opts.BatchWindow,
+		maxBatch:    opts.MaxBatch,
+		reqCh:       make(chan *pending, 256),
+		stopBG:      make(chan struct{}),
+		start:       time.Now(),
+		tracer:      opts.Tracer,
+		maxInflight: opts.MaxInflight,
+		sloP99:      opts.SLOP99MS,
+		sloEvery:    opts.sloEvery,
+		reqs:        reg.Counter("serve_requests_total"),
+		errs:        reg.Counter("serve_errors_total"),
+		reloads:     reg.Counter("serve_reloads_total"),
+		shedTotal:   reg.Counter("serve_shed_total"),
+		sloBreach:   reg.Counter("serve_slo_breach_total"),
+		inflight:    reg.Gauge("serve_inflight"),
+		verG:        reg.Gauge("serve_model_version"),
+		qps:         reg.Gauge("serve_qps"),
+		shedGauge:   reg.Gauge("serve_shed_mode"),
 		latency: reg.Histogram("serve_latency_ms",
 			[]float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000}),
 		batchSz: reg.Histogram("serve_batch_size", []float64{1, 2, 4, 8, 16, 32, 64}),
+		latQ:    reg.Quantile("serve_latency_quantiles_ms", qOpts),
+		queueQ:  reg.Quantile("serve_queue_wait_ms", qOpts),
 	}
 	if opts.CacheSize > 0 {
 		s.cache = cache.New[Fingerprint, *Result](opts.CacheSize)
@@ -192,6 +246,10 @@ func New(opts Options) (*Service, error) {
 	s.wg.Add(2)
 	go s.batcher()
 	go s.sampleQPS()
+	if s.sloP99 > 0 {
+		s.wg.Add(1)
+		go s.sloLoop()
+	}
 	return s, nil
 }
 
@@ -206,9 +264,18 @@ func (s *Service) Close() {
 	s.closed = true
 	close(s.reqCh)
 	s.closeMu.Unlock()
-	close(s.stopQPS)
+	close(s.stopBG)
 	s.wg.Wait()
 }
+
+// Uptime is how long the service has been running.
+func (s *Service) Uptime() time.Duration { return time.Since(s.start) }
+
+// LatencyQuantiles snapshots the windowed serve-latency estimator.
+func (s *Service) LatencyQuantiles() obs.QuantileSnapshot { return s.latQ.SnapshotQuantile() }
+
+// QueueWaitQuantiles snapshots the windowed queue-wait estimator.
+func (s *Service) QueueWaitQuantiles() obs.QuantileSnapshot { return s.queueQ.SnapshotQuantile() }
 
 // Version returns the current model snapshot id.
 func (s *Service) Version() uint64 { return s.version.Load().id }
@@ -250,18 +317,36 @@ func (s *Service) Reload(path string) error {
 // validates specs; programmatic callers are trusted) and have at least
 // one edge. Safe for concurrent use.
 func (s *Service) Allocate(g *stream.Graph, c sim.Cluster) (Result, error) {
+	return s.AllocateCtx(context.Background(), g, c)
+}
+
+// AllocateCtx is Allocate with a request context. The context is a
+// carrier, not a cancellation signal — a request that reached the
+// batcher always completes — but a trace id placed in it via
+// WithTraceID tags every child span this request emits into the
+// service's tracer.
+func (s *Service) AllocateCtx(ctx context.Context, g *stream.Graph, c sim.Cluster) (Result, error) {
 	start := time.Now()
 	s.reqs.Inc()
 	s.inflight.Add(1)
 	defer func() {
 		s.inflight.Add(-1)
-		s.latency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		ms := float64(time.Since(start)) / float64(time.Millisecond)
+		s.latency.Observe(ms)
+		s.latQ.Observe(ms)
 	}()
+	traceID := TraceIDFrom(ctx)
 
 	var fp Fingerprint
 	if s.cache != nil {
+		probeT0 := start
+		if s.tracer != nil {
+			probeT0 = time.Now()
+		}
 		fp = FingerprintRequest(g, c)
-		if r, ok := s.cache.Get(fp); ok {
+		r, ok := s.cache.Get(fp)
+		s.emitSpan("cache-probe", laneRequest, probeT0, traceID)
+		if ok {
 			out := *r
 			out.Assign = append([]int(nil), r.Assign...)
 			out.Cached = true
@@ -270,10 +355,18 @@ func (s *Service) Allocate(g *stream.Graph, c sim.Cluster) (Result, error) {
 		}
 	}
 
+	// Cache hits above bypass admission — they cost ~1µs and relieve
+	// load; only work that needs the model can be shed.
+	if err := s.admit(); err != nil {
+		return Result{}, err
+	}
+
 	p := &pending{
-		f:    gnn.BuildFeatures(g, c),
-		ver:  s.version.Load(),
-		done: make(chan struct{}),
+		f:       gnn.BuildFeatures(g, c),
+		ver:     s.version.Load(),
+		traceID: traceID,
+		enq:     time.Now(),
+		done:    make(chan struct{}),
 	}
 	if err := s.enqueue(p); err != nil {
 		s.errs.Inc()
@@ -293,6 +386,7 @@ func (s *Service) Allocate(g *stream.Graph, c sim.Cluster) (Result, error) {
 		Relative:     sim.Reward(g, a.Placement, c),
 		ModelVersion: p.ver.id,
 		BatchSize:    p.batchSize,
+		Fingerprint:  fp,
 	}
 	if s.cache != nil {
 		stored := res
@@ -300,6 +394,25 @@ func (s *Service) Allocate(g *stream.Graph, c sim.Cluster) (Result, error) {
 		s.cache.Put(fp, &stored)
 	}
 	return res, nil
+}
+
+// Trace lanes: request-side spans on 0, batcher-side spans on 1.
+const (
+	laneRequest = 0
+	laneBatcher = 1
+)
+
+// emitSpan records one completed span tagged with the request's trace
+// id. No-op when the service has no tracer.
+func (s *Service) emitSpan(name string, lane int, t0 time.Time, traceID string) {
+	if s.tracer == nil {
+		return
+	}
+	var args map[string]string
+	if traceID != "" {
+		args = map[string]string{"trace_id": traceID}
+	}
+	s.tracer.EmitArgs(name, lane, t0, time.Since(t0), args)
 }
 
 // enqueue hands p to the batcher, failing after Close. The read lock
@@ -361,6 +474,20 @@ func (s *Service) batcher() {
 // batch's requests instead of killing the batcher.
 func (s *Service) runBatch(batch []*pending) {
 	s.batchSz.Observe(float64(len(batch)))
+	// The batcher has picked the batch up: each request's queue wait —
+	// enqueue to here, covering the coalescing window — is over.
+	now := time.Now()
+	for _, p := range batch {
+		wait := now.Sub(p.enq)
+		s.queueQ.Observe(float64(wait) / float64(time.Millisecond))
+		if s.tracer != nil {
+			var args map[string]string
+			if p.traceID != "" {
+				args = map[string]string{"trace_id": p.traceID}
+			}
+			s.tracer.EmitArgs("queue-wait", laneBatcher, p.enq, wait, args)
+		}
+	}
 	if s.beforeForward != nil {
 		s.beforeForward(len(batch))
 	}
@@ -404,7 +531,12 @@ func (s *Service) forwardGroup(group []*pending) {
 		p := group[0]
 		p.probs = make([]float64, p.f.Edge.Rows)
 		p.batchSize = 1
+		fwdT0 := time.Time{}
+		if s.tracer != nil {
+			fwdT0 = time.Now()
+		}
 		s.model.InferProbsInto(snap, p.f, p.probs)
+		s.emitSpan("forward", laneBatcher, fwdT0, p.traceID)
 		p.deliver()
 		return
 	}
@@ -413,6 +545,10 @@ func (s *Service) forwardGroup(group []*pending) {
 	// concatenate, edge endpoints shift by each graph's node offset. All
 	// forward kernels are row-local, so each graph's output rows are
 	// bit-identical to a solo pass.
+	asmT0 := time.Time{}
+	if s.tracer != nil {
+		asmT0 = time.Now()
+	}
 	totalN, totalE := 0, 0
 	for _, p := range group {
 		totalN += p.f.Node.Rows
@@ -437,7 +573,25 @@ func (s *Service) forwardGroup(group []*pending) {
 	}
 	stacked := &gnn.Features{Node: node, Edge: edge, Src: src, Dst: dst}
 	all := make([]float64, totalE)
+	var fwdT0 time.Time
+	if s.tracer != nil {
+		fwdT0 = time.Now()
+		s.tracer.EmitArgs("batch-assembly", laneBatcher, asmT0, fwdT0.Sub(asmT0),
+			map[string]string{"batch": fmt.Sprint(len(group))})
+	}
 	s.model.InferProbsInto(snap, stacked, all)
+	if s.tracer != nil {
+		// One measured forward pass, attributed to every rider so a
+		// single trace id finds its request's span.
+		dur := time.Since(fwdT0)
+		for _, p := range group {
+			var args map[string]string
+			if p.traceID != "" {
+				args = map[string]string{"trace_id": p.traceID}
+			}
+			s.tracer.EmitArgs("forward", laneBatcher, fwdT0, dur, args)
+		}
+	}
 	tensor.Put(node)
 	tensor.Put(edge)
 
@@ -460,7 +614,7 @@ func (s *Service) sampleQPS() {
 	last := s.reqs.Value()
 	for {
 		select {
-		case <-s.stopQPS:
+		case <-s.stopBG:
 			return
 		case <-tick.C:
 			cur := s.reqs.Value()
